@@ -1,0 +1,96 @@
+// Command ccbench regenerates the experiment tables of EXPERIMENTS.md.
+// Every table and figure series is derived from a quantitative claim of the
+// paper (DESIGN.md §3 maps each experiment to its theorem/lemma).
+//
+// Usage:
+//
+//	ccbench                      # run everything at small scale, markdown
+//	ccbench -run E1,E2 -scale full
+//	ccbench -format csv -out results/
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"parcc/internal/bench"
+)
+
+func main() {
+	var (
+		list    = flag.Bool("list", false, "list experiments and exit")
+		run     = flag.String("run", "all", "comma-separated experiment IDs (E1..E17) or 'all'")
+		scale   = flag.String("scale", "small", "small | full")
+		format  = flag.String("format", "md", "md | csv")
+		outDir  = flag.String("out", "", "write one file per experiment into this directory")
+		seed    = flag.Uint64("seed", 1, "random seed")
+		workers = flag.Int("workers", 0, "goroutine pool size (0 = NumCPU)")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range bench.All() {
+			fmt.Printf("%-4s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	cfg := bench.Config{Seed: *seed, Workers: *workers}
+	switch strings.ToLower(*scale) {
+	case "small":
+		cfg.Scale = bench.Small
+	case "full":
+		cfg.Scale = bench.Full
+	default:
+		fmt.Fprintln(os.Stderr, "ccbench: -scale must be small or full")
+		os.Exit(1)
+	}
+
+	var todo []bench.Experiment
+	if strings.EqualFold(*run, "all") {
+		todo = bench.All()
+	} else {
+		for _, id := range strings.Split(*run, ",") {
+			e, ok := bench.Find(strings.TrimSpace(id))
+			if !ok {
+				fmt.Fprintf(os.Stderr, "ccbench: unknown experiment %q\n", id)
+				os.Exit(1)
+			}
+			todo = append(todo, e)
+		}
+	}
+
+	for _, e := range todo {
+		t0 := time.Now()
+		tab := e.Run(cfg)
+		var body string
+		switch *format {
+		case "md":
+			body = tab.Markdown()
+		case "csv":
+			body = tab.CSV()
+		default:
+			fmt.Fprintln(os.Stderr, "ccbench: -format must be md or csv")
+			os.Exit(1)
+		}
+		if *outDir != "" {
+			if err := os.MkdirAll(*outDir, 0o755); err != nil {
+				fmt.Fprintln(os.Stderr, "ccbench:", err)
+				os.Exit(1)
+			}
+			path := filepath.Join(*outDir, fmt.Sprintf("%s.%s", strings.ToLower(e.ID), *format))
+			if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+				fmt.Fprintln(os.Stderr, "ccbench:", err)
+				os.Exit(1)
+			}
+			fmt.Fprintf(os.Stderr, "%s: wrote %s (%v)\n", e.ID, path, time.Since(t0).Round(time.Millisecond))
+			continue
+		}
+		fmt.Println(body)
+		fmt.Fprintf(os.Stderr, "%s: %v\n", e.ID, time.Since(t0).Round(time.Millisecond))
+	}
+}

@@ -1,0 +1,81 @@
+// Socialnet: the paper's motivating workload (§1.1) — real-world social and
+// communication graphs have good expansion, so connectivity runs in
+// O(log log n)-type time.  This example builds a synthetic social network
+// of well-connected communities, then studies how the strong-tie subgraph
+// (keeping each friendship with decreasing probability) fragments, using
+// the spectral gap to predict which regime the algorithm is in.
+//
+//	go run ./examples/socialnet
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"parcc"
+)
+
+func main() {
+	// 12 communities of varying size, each an 8-regular expander; members
+	// additionally have a few random cross-community acquaintances.
+	const communities = 12
+	sizes := make([]int, communities)
+	total := 0
+	for i := range sizes {
+		sizes[i] = 400 + 250*i
+		total += sizes[i]
+	}
+	g := parcc.NewGraph(total)
+	off := 0
+	for i, s := range sizes {
+		com := parcc.RandomRegular(s, 8, uint64(i+1))
+		for _, e := range com.Edges {
+			g.AddEdge(off+int(e.U), off+int(e.V))
+		}
+		off += s
+	}
+	// sparse random acquaintances across the whole network
+	acq := parcc.GNM(total, total/2, 99)
+	g.Edges = append(g.Edges, acq.Edges...)
+
+	fmt.Printf("network: n=%d m=%d (%d communities + %d acquaintance ties)\n",
+		g.N, g.M(), communities, total/2)
+
+	full, err := parcc.ConnectedComponents(g, &parcc.Options{Seed: 7})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("full graph: %d component(s), %d rounds\n\n",
+		full.NumComponents, full.Steps)
+
+	// Strong-tie analysis: keep each edge w.p. p and watch the components
+	// and the spectral gap.  Communities (expanders) survive heavy
+	// sparsification; the acquaintance ties vanish first.
+	fmt.Println("  p     components   λ(min)    log2(1/λ)   rounds")
+	for _, p := range []float64{0.9, 0.6, 0.4, 0.25} {
+		s := parcc.SampleEdges(g, p, 1234)
+		lam := parcc.SpectralGap(s)
+		res, err := parcc.ConnectedComponents(s, &parcc.Options{Seed: 7})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %.2f  %10d   %8.4g   %8.2f   %6d\n",
+			p, res.NumComponents, lam, math.Log2(1/lam), res.Steps)
+	}
+
+	fmt.Println("\ncommunity sizes of the p=0.25 strong-tie graph:")
+	s := parcc.SampleEdges(g, 0.25, 1234)
+	res, err := parcc.ConnectedComponents(s, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	comps := res.Components()
+	big := 0
+	for _, c := range comps {
+		if len(c) >= 100 {
+			big++
+		}
+	}
+	fmt.Printf("  %d components total, %d with ≥ 100 members\n", len(comps), big)
+}

@@ -1,0 +1,357 @@
+// Package baseline implements the comparison algorithms the paper positions
+// itself against:
+//
+//   - sequential BFS labelling (ground truth; the O(m) sequential optimum
+//     [Tar72]);
+//   - union-find with path compression and union by rank;
+//   - Shiloach–Vishkin / Awerbuch–Shiloach CRCW connectivity [SV82, AS87]:
+//     O(log n) time, Θ((m+n) log n) work;
+//   - Reif's random-mate contraction [Rei84]: O(log n) time, Θ((m+n) log n)
+//     work in this form;
+//   - synchronous minimum-label propagation: Θ(d) rounds.
+//
+// The PRAM variants run on the simulator and charge per-round costs, so the
+// work/time comparisons in experiments E2/E10 are model-level, not
+// wall-clock artifacts.
+package baseline
+
+import (
+	"parcc/internal/graph"
+	"parcc/internal/labeled"
+	"parcc/internal/pram"
+	"parcc/internal/prim"
+)
+
+// BFSLabels returns component labels (smallest vertex in the component) by
+// sequential breadth-first search.  Used as ground truth everywhere.
+func BFSLabels(g *graph.Graph) []int32 {
+	csr := graph.BuildCSR(g)
+	labels := make([]int32, g.N)
+	for i := range labels {
+		labels[i] = -1
+	}
+	queue := make([]int32, 0, 1024)
+	for s := 0; s < g.N; s++ {
+		if labels[s] >= 0 {
+			continue
+		}
+		root := int32(s)
+		labels[s] = root
+		queue = append(queue[:0], root)
+		for len(queue) > 0 {
+			v := queue[len(queue)-1]
+			queue = queue[:len(queue)-1]
+			for _, w := range csr.Neighbors(v) {
+				if labels[w] < 0 {
+					labels[w] = root
+					queue = append(queue, w)
+				}
+			}
+		}
+	}
+	return labels
+}
+
+// UnionFind is a sequential disjoint-set forest with union by rank and path
+// compression.
+type UnionFind struct {
+	parent []int32
+	rank   []int8
+	count  int
+}
+
+// NewUnionFind returns a forest of n singletons.
+func NewUnionFind(n int) *UnionFind {
+	u := &UnionFind{parent: make([]int32, n), rank: make([]int8, n), count: n}
+	for i := range u.parent {
+		u.parent[i] = int32(i)
+	}
+	return u
+}
+
+// Find returns the representative of x with path compression.
+func (u *UnionFind) Find(x int32) int32 {
+	for u.parent[x] != x {
+		u.parent[x] = u.parent[u.parent[x]]
+		x = u.parent[x]
+	}
+	return x
+}
+
+// Union merges the sets of a and b; reports whether they were distinct.
+func (u *UnionFind) Union(a, b int32) bool {
+	ra, rb := u.Find(a), u.Find(b)
+	if ra == rb {
+		return false
+	}
+	if u.rank[ra] < u.rank[rb] {
+		ra, rb = rb, ra
+	}
+	u.parent[rb] = ra
+	if u.rank[ra] == u.rank[rb] {
+		u.rank[ra]++
+	}
+	u.count--
+	return true
+}
+
+// Count returns the number of disjoint sets.
+func (u *UnionFind) Count() int { return u.count }
+
+// UnionFindLabels labels components with a sequential union-find pass.
+func UnionFindLabels(g *graph.Graph) []int32 {
+	u := NewUnionFind(g.N)
+	for _, e := range g.Edges {
+		u.Union(e.U, e.V)
+	}
+	labels := make([]int32, g.N)
+	for v := range labels {
+		labels[v] = u.Find(int32(v))
+	}
+	return labels
+}
+
+// ShiloachVishkin runs the Awerbuch–Shiloach simplification of the
+// Shiloach–Vishkin connectivity algorithm on the machine and returns the
+// resulting forest.  Each round performs conditional star hooking,
+// unconditional star hooking, and a shortcut, each a full O(m+n)-work step,
+// for O(log n) rounds: Θ((m+n) log n) total work.
+func ShiloachVishkin(m *pram.Machine, g *graph.Graph) *labeled.Forest {
+	n := g.N
+	f := labeled.New(n)
+	p := f.P
+	old := make([]int32, n) // pre-step snapshot: PRAM steps read old state
+	star := make([]int32, n)
+	tmp := make([]int32, n)
+	changed := []int32{1}
+	snapshot := func() {
+		m.For(n, func(v int) { old[v] = pram.Load32(p, v) })
+	}
+	// Past this cap the star-hooking step is disabled: conditional hooking
+	// plus shortcutting alone is a terminating, correct (slower) algorithm,
+	// so the cap is a liveness backstop, never a correctness risk.
+	capRounds := 4*log2ceil(n) + 64
+	for rounds := 0; changed[0] != 0; rounds++ {
+		changed[0] = 0
+		// Conditional hooking: roots hook onto strictly smaller parents.
+		snapshot()
+		m.For(len(g.Edges), func(i int) {
+			e := g.Edges[i]
+			hook(p, old, e.U, e.V, changed, true)
+			hook(p, old, e.V, e.U, changed, true)
+		})
+		if rounds <= capRounds {
+			computeStars(m, p, star)
+			// Unconditional hooking for stars (onto any different parent).
+			snapshot()
+			m.For(len(g.Edges), func(i int) {
+				e := g.Edges[i]
+				if pram.Flag(star, int(e.U)) {
+					hook(p, old, e.U, e.V, changed, false)
+				}
+				if pram.Flag(star, int(e.V)) {
+					hook(p, old, e.V, e.U, changed, false)
+				}
+			})
+		}
+		// Shortcut (synchronous: gather grandparents, then write).
+		m.For(n, func(v int) {
+			pv := pram.Load32(p, v)
+			gp := pram.Load32(p, int(pv))
+			if gp != pv {
+				pram.SetFlag(changed, 0)
+			}
+			tmp[v] = gp
+		})
+		m.For(n, func(v int) { pram.Store32(p, v, tmp[v]) })
+	}
+	return f
+}
+
+// hook points u's snapshot parent-root at v's snapshot parent when
+// permitted, reading the pre-step state (old) and writing the live array —
+// the synchronous CRCW step discipline.  Conditional hooking (cond=true)
+// allows only strictly smaller targets; star hooking allows any different
+// target.  Star hooking is safe because stars are recomputed after
+// conditional hooking: two surviving stars are never adjacent (the
+// larger-rooted one would have hooked conditionally), so no hooking cycle
+// can form — the classical Awerbuch–Shiloach argument.
+func hook(p, old []int32, u, v int32, changed []int32, cond bool) {
+	pu := old[u]
+	// Only hook when pu is a root in the snapshot.
+	if old[pu] != pu {
+		return
+	}
+	pv := old[v]
+	if cond {
+		if pv < pu {
+			pram.Store32(p, int(pu), pv)
+			pram.SetFlag(changed, 0)
+		}
+		return
+	}
+	// Star hooking: the target must still be a live root.  Without this
+	// check a 2-cycle forms when conditional hooking already claimed the
+	// target this round (p[b]=a from the conditional step, then the star
+	// rooted at a writes p[a]=old-snapshot b): the synchronous shortcut
+	// resets such a pair to two roots and the round repeats forever.
+	if pv != pu && pram.Load32(p, int(pv)) == pv {
+		pram.Store32(p, int(pu), pv)
+		pram.SetFlag(changed, 0)
+	}
+}
+
+func log2ceil(n int) int {
+	b := 0
+	for 1<<b < n {
+		b++
+	}
+	return b
+}
+
+// computeStars marks star[v] = 1 iff v belongs to a tree of height ≤ 1,
+// using the standard three-step procedure.
+func computeStars(m *pram.Machine, p []int32, star []int32) {
+	n := len(p)
+	m.For(n, func(v int) { star[v] = 1 })
+	m.For(n, func(v int) {
+		pv := pram.Load32(p, v)
+		gp := pram.Load32(p, int(pv))
+		if gp != pv {
+			pram.Store32(star, v, 0)
+			pram.Store32(star, int(gp), 0)
+		}
+	})
+	m.For(n, func(v int) {
+		pv := pram.Load32(p, v)
+		if !pram.Flag(star, int(pv)) {
+			pram.Store32(star, v, 0)
+		}
+	})
+}
+
+// RandomMate runs Reif's random-mate contraction: every round each root
+// flips a coin; head-roots hook onto adjacent tail-roots; then a shortcut.
+// O(log n) rounds w.h.p., full edge scans per round.
+func RandomMate(m *pram.Machine, g *graph.Graph, seed uint64) *labeled.Forest {
+	f := labeled.New(g.N)
+	p := f.P
+	E := make([]graph.Edge, len(g.Edges))
+	copy(E, g.Edges)
+	coin := make([]int32, g.N)
+	round := int64(0)
+	for len(E) > 0 {
+		round++
+		m.For(g.N, func(v int) {
+			if pram.SplitMix64(seed^uint64(round)<<32^uint64(v))&1 == 1 {
+				coin[v] = 1
+			} else {
+				coin[v] = 0
+			}
+		})
+		m.For(len(E), func(i int) {
+			e := E[i]
+			uRoot := pram.Load32(p, int(e.U)) == e.U
+			vRoot := pram.Load32(p, int(e.V)) == e.V
+			if !uRoot || !vRoot {
+				return
+			}
+			if coin[e.U] == 1 && coin[e.V] == 0 {
+				pram.Store32(p, int(e.U), e.V)
+			} else if coin[e.V] == 1 && coin[e.U] == 0 {
+				pram.Store32(p, int(e.V), e.U)
+			}
+		})
+		labeled.ShortcutAll(m, f)
+		E = labeled.Alter(m, f, E)
+	}
+	return f
+}
+
+// LabelProp runs synchronous minimum-label propagation until fixpoint:
+// Θ(diameter) rounds, full edge scans per round.  Returns labels directly.
+func LabelProp(m *pram.Machine, g *graph.Graph) []int32 {
+	n := g.N
+	lab := make([]int32, n)
+	m.Iota32(lab)
+	lab64 := make([]int64, n)
+	changed := []int32{1}
+	for changed[0] != 0 {
+		changed[0] = 0
+		m.For(n, func(v int) { lab64[v] = int64(lab[v]) })
+		m.For(len(g.Edges), func(i int) {
+			e := g.Edges[i]
+			pram.Min64(lab64, int(e.U), int64(lab[e.V]))
+			pram.Min64(lab64, int(e.V), int64(lab[e.U]))
+		})
+		m.For(n, func(v int) {
+			nv := int32(lab64[v])
+			if nv != lab[v] {
+				lab[v] = nv
+				pram.SetFlag(changed, 0)
+			}
+		})
+	}
+	return lab
+}
+
+// ParallelBFS labels components by multi-source level-synchronous BFS: all
+// unvisited vertices start a frontier wave per component.  It is the
+// natural work-optimal comparator at the other end of the time spectrum:
+// O(d) rounds and O(m+n) total work (each edge relaxes O(1) times per
+// wave), against which the paper's O(log(1/λ) + log log n) rounds are
+// measured.  Frontier compaction per round uses the approximate-compaction
+// contract like the rest of the codebase.
+func ParallelBFS(m *pram.Machine, g *graph.Graph) []int32 {
+	n := g.N
+	csr := graph.BuildCSR(g)
+	labels := make([]int32, n)
+	m.For(n, func(v int) { labels[v] = int32(v) })
+	next := make([]int32, n)
+	m.For(n, func(v int) { next[v] = int32(v) })
+	// Every vertex is initially its own frontier; a vertex adopts the
+	// smallest label seen among its neighbors' waves.  Rather than running
+	// one BFS per component sequentially (which would charge Σd rounds),
+	// all components proceed in parallel: per round, every frontier vertex
+	// relaxes its edges once.
+	frontier := make([]int32, n)
+	m.Iota32(frontier)
+	lab64 := make([]int64, n)
+	for len(frontier) > 0 {
+		m.ForWork(len(frontier), int64(len(frontier)), func(i int) {
+			v := frontier[i]
+			pram.Store64(lab64, int(v), int64(labels[v]))
+		})
+		var relaxWork int64
+		for _, v := range frontier {
+			relaxWork += int64(csr.Deg(v))
+		}
+		m.ForWork(len(frontier), relaxWork, func(i int) {
+			v := frontier[i]
+			lv := int64(labels[v])
+			for _, w := range csr.Neighbors(v) {
+				pram.Min64(lab64, int(w), lv)
+			}
+		})
+		// Next frontier: vertices whose label improved.
+		var nf []int32
+		m.Contract(prim.LogStar(n)+1, int64(len(frontier)), func() {
+			seen := map[int32]struct{}{}
+			for _, v := range frontier {
+				for _, w := range csr.Neighbors(v) {
+					if int32(lab64[w]) < labels[w] {
+						if _, ok := seen[w]; !ok {
+							seen[w] = struct{}{}
+							nf = append(nf, w)
+						}
+					}
+				}
+			}
+			for _, w := range nf {
+				labels[w] = int32(lab64[w])
+			}
+		})
+		frontier = nf
+	}
+	return labels
+}

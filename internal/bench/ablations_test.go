@@ -1,0 +1,64 @@
+package bench
+
+import (
+	"strconv"
+	"testing"
+)
+
+func TestE16DeletionReducesWork(t *testing.T) {
+	tab := E16FilterDeletion(Config{Scale: Small, Seed: 5})
+	// Work at p=0 (no shedding) must exceed work at p=0.1.
+	var w0, wBig float64
+	for _, r := range tab.Rows {
+		w, err := strconv.ParseFloat(r[2], 64)
+		if err != nil {
+			t.Fatalf("work cell %q", r[2])
+		}
+		switch r[0] {
+		case "0":
+			w0 = w
+		case "0.1":
+			wBig = w
+		}
+	}
+	if w0 == 0 || wBig == 0 {
+		t.Fatalf("missing rows: %v", tab.Rows)
+	}
+	if wBig >= w0 {
+		t.Errorf("deletion should reduce FILTER work: p=0 → %.1f, p=0.1 → %.1f", w0, wBig)
+	}
+}
+
+func TestE17GridCoversAllCells(t *testing.T) {
+	tab := E17BudgetGrid(Config{Scale: Small, Seed: 3})
+	if len(tab.Rows) != 3*3*2 {
+		t.Fatalf("grid has %d rows, want 18", len(tab.Rows))
+	}
+	for _, r := range tab.Rows {
+		rounds, err := strconv.Atoi(r[3])
+		if err != nil || rounds <= 0 {
+			t.Fatalf("bad rounds cell %q", r[3])
+		}
+	}
+}
+
+func TestE17BiggerBudgetsMoreWork(t *testing.T) {
+	tab := E17BudgetGrid(Config{Scale: Small, Seed: 3})
+	// At fixed exponent 0.25 on the expander, β=64 must charge more work
+	// per edge than β=4 (tables dominate).
+	var w4, w64 float64
+	for _, r := range tab.Rows {
+		if r[1] == "0.25" && r[2] == "expander" {
+			w, _ := strconv.ParseFloat(r[4], 64)
+			switch r[0] {
+			case "4":
+				w4 = w
+			case "64":
+				w64 = w
+			}
+		}
+	}
+	if w64 <= w4 {
+		t.Errorf("β=64 work %.1f should exceed β=4 work %.1f", w64, w4)
+	}
+}

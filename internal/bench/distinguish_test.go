@@ -1,0 +1,43 @@
+package bench
+
+import (
+	"testing"
+
+	"parcc/internal/graph/gen"
+)
+
+func TestBudgetedDecideUnknownThenResolved(t *testing.T) {
+	g := gen.Cycle(512)
+	if d := BudgetedDecide(g, 1, 3); d != Unknown {
+		t.Errorf("1 round should not certify a 512-cycle, got %v", d)
+	}
+	if d := BudgetedDecide(g, 256, 3); d != OneComponent {
+		t.Errorf("generous budget should certify one component, got %v", d)
+	}
+	if d := BudgetedDecide(gen.TwoCycles(512), 256, 3); d != ManyComponents {
+		t.Errorf("two cycles should certify many components, got %v", d)
+	}
+}
+
+func TestBudgetedDecideNeverLies(t *testing.T) {
+	// A certified answer must be the true answer at every budget.
+	one := gen.Cycle(128)
+	two := gen.TwoCycles(128)
+	for r := 1; r <= 64; r++ {
+		if d := BudgetedDecide(one, r, 7); d == ManyComponents {
+			t.Fatalf("budget %d: certified the wrong answer for one cycle", r)
+		}
+		if d := BudgetedDecide(two, r, 7); d == OneComponent {
+			t.Fatalf("budget %d: certified the wrong answer for two cycles", r)
+		}
+	}
+}
+
+func TestRoundsToDistinguishGrows(t *testing.T) {
+	seeds := []uint64{1, 2, 3, 4, 5}
+	small := RoundsToDistinguish(1<<6, seeds)
+	large := RoundsToDistinguish(1<<14, seeds)
+	if large <= small {
+		t.Errorf("distinguish rounds should grow with n: %f -> %f", small, large)
+	}
+}

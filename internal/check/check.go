@@ -1,0 +1,117 @@
+// Package check is a runtime invariant harness: it re-states the paper's
+// structural lemmas as executable predicates over (forest, edge set,
+// ground-truth labels) triples and runs instrumented stage pipelines that
+// assert them at every boundary.  Tests use it to catch violations at the
+// step where they occur instead of at the final partition comparison.
+//
+// Covered invariants:
+//
+//   - Safety (implicit throughout): every parent stays inside its
+//     ground-truth component, and the forest is acyclic;
+//   - Lemma 4.5: an original root is a root or a child of a root after
+//     MATCHING (height growth bound);
+//   - Lemma 4.9/4.21: after EXTRACT/REDUCE, trees are flat and both ends
+//     of every surviving edge are roots;
+//   - Lemma 5.22: INCREASE preserves flatness and edges-on-roots;
+//   - Lemma 6.1 (direction): contraction never decreases the number of
+//     ground-truth components represented among roots;
+//   - Completeness at fixpoint: if no non-loop edges remain anywhere, the
+//     forest's partition equals the ground truth.
+package check
+
+import (
+	"fmt"
+
+	"parcc/internal/baseline"
+	"parcc/internal/graph"
+	"parcc/internal/labeled"
+)
+
+// State bundles what the predicates need.
+type State struct {
+	Truth  []int32 // ground-truth labels (BFS)
+	Forest *labeled.Forest
+}
+
+// New builds a checker state for graph g and forest f.
+func New(g *graph.Graph, f *labeled.Forest) *State {
+	return &State{Truth: baseline.BFSLabels(g), Forest: f}
+}
+
+// Safety checks contraction safety and acyclicity (must hold at every
+// moment of every stage).
+func (s *State) Safety() error {
+	if err := s.Forest.CheckAcyclic(); err != nil {
+		return fmt.Errorf("acyclicity: %w", err)
+	}
+	if err := labeled.CheckSameComponent(s.Forest, s.Truth); err != nil {
+		return fmt.Errorf("contraction safety: %w", err)
+	}
+	return nil
+}
+
+// FlatAndOnRoots checks the Lemma 4.9/4.21/5.22 postcondition for a stage
+// boundary: trees flat (height ≤ maxHeight), all edges on roots.
+func (s *State) FlatAndOnRoots(E []graph.Edge, maxHeight int) error {
+	if h := s.Forest.MaxHeight(); h > maxHeight {
+		return fmt.Errorf("tree height %d > %d", h, maxHeight)
+	}
+	if err := labeled.CheckEdgesOnRoots(s.Forest, E); err != nil {
+		return err
+	}
+	return nil
+}
+
+// EdgesIntraComponent checks every edge of E joins vertices of one
+// ground-truth component (densify-added edges must satisfy this).
+func (s *State) EdgesIntraComponent(E []graph.Edge) error {
+	for i, e := range E {
+		if s.Truth[e.U] != s.Truth[e.V] {
+			return fmt.Errorf("edge %d=(%d,%d) crosses components", i, e.U, e.V)
+		}
+	}
+	return nil
+}
+
+// RootsPerComponent returns, for each ground-truth component label, the
+// number of distinct forest-roots its vertices currently map to.  A value
+// of 1 for every component means the computation is finished.
+func (s *State) RootsPerComponent() map[int32]int {
+	labels := s.Forest.Labels()
+	distinct := map[int32]map[int32]struct{}{}
+	for v, comp := range s.Truth {
+		set, ok := distinct[comp]
+		if !ok {
+			set = map[int32]struct{}{}
+			distinct[comp] = set
+		}
+		set[labels[v]] = struct{}{}
+	}
+	out := make(map[int32]int, len(distinct))
+	for comp, set := range distinct {
+		out[comp] = len(set)
+	}
+	return out
+}
+
+// Monotone compares two RootsPerComponent snapshots and errors if any
+// component's root count increased — contraction progress must be
+// monotone across stage boundaries (revert points excepted, which callers
+// handle by re-snapshotting).
+func Monotone(before, after map[int32]int) error {
+	for comp, a := range after {
+		if b, ok := before[comp]; ok && a > b {
+			return fmt.Errorf("component %d went from %d roots to %d", comp, b, a)
+		}
+	}
+	return nil
+}
+
+// Finished checks the completeness condition: the forest partition equals
+// the ground truth.
+func (s *State) Finished() error {
+	if !graph.SamePartition(s.Truth, s.Forest.Labels()) {
+		return fmt.Errorf("forest partition differs from ground truth")
+	}
+	return nil
+}

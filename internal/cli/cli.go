@@ -1,0 +1,134 @@
+// Package cli holds helpers shared by the command-line tools: the generator
+// spec mini-language and graph loading.
+//
+// A generator spec is "family:key=val,key=val", e.g.
+//
+//	path:n=1000
+//	expander:n=4096,d=8,seed=7
+//	grid:r=64,c=64
+//	cliques:k=32,s=16,bridges=4
+//	appendixb:n=8192,t=4
+package cli
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"parcc/internal/graph"
+	"parcc/internal/graph/gen"
+)
+
+// Spec is a parsed generator specification.
+type Spec struct {
+	Family string
+	Args   map[string]int
+}
+
+// ParseSpec parses "family:key=val,...".
+func ParseSpec(s string) (Spec, error) {
+	out := Spec{Args: map[string]int{}}
+	fam, rest, _ := strings.Cut(s, ":")
+	out.Family = strings.ToLower(strings.TrimSpace(fam))
+	if out.Family == "" {
+		return out, fmt.Errorf("empty generator family in %q", s)
+	}
+	if rest == "" {
+		return out, nil
+	}
+	for _, kv := range strings.Split(rest, ",") {
+		k, v, ok := strings.Cut(kv, "=")
+		if !ok {
+			return out, fmt.Errorf("malformed argument %q (want key=val)", kv)
+		}
+		n, err := strconv.Atoi(strings.TrimSpace(v))
+		if err != nil {
+			return out, fmt.Errorf("argument %q: %v", kv, err)
+		}
+		out.Args[strings.ToLower(strings.TrimSpace(k))] = n
+	}
+	return out, nil
+}
+
+func (s Spec) get(key string, def int) int {
+	if v, ok := s.Args[key]; ok {
+		return v
+	}
+	return def
+}
+
+// Build instantiates the generator.
+func (s Spec) Build() (*graph.Graph, error) {
+	n := s.get("n", 1024)
+	seed := uint64(s.get("seed", 1))
+	switch s.Family {
+	case "path":
+		return gen.Path(n), nil
+	case "cycle":
+		return gen.Cycle(n), nil
+	case "twocycles":
+		return gen.TwoCycles(n), nil
+	case "grid":
+		return gen.Grid(s.get("r", 32), s.get("c", 32)), nil
+	case "torus":
+		return gen.Torus(s.get("r", 32), s.get("c", 32)), nil
+	case "hypercube":
+		return gen.Hypercube(s.get("d", 10)), nil
+	case "complete":
+		return gen.Complete(n), nil
+	case "star":
+		return gen.Star(n), nil
+	case "tree":
+		return gen.BinaryTree(n), nil
+	case "expander", "regular":
+		return gen.RandomRegular(n, s.get("d", 4), seed), nil
+	case "gnm":
+		return gen.GNM(n, s.get("m", 2*n), seed), nil
+	case "cliques":
+		return gen.RingOfCliques(s.get("k", 16), s.get("s", 16), s.get("bridges", 1), seed), nil
+	case "lollipop":
+		return gen.Lollipop(n, s.get("k", n/4)), nil
+	case "barbell":
+		return gen.Barbell(n, s.get("k", n/4)), nil
+	case "appendixb":
+		return gen.AppendixB(n, s.get("t", 4)), nil
+	case "smallworld", "ws":
+		return gen.WattsStrogatz(n, s.get("k", 4), float64(s.get("rewire", 10))/100, seed), nil
+	case "ba", "prefattach":
+		return gen.BarabasiAlbert(n, s.get("m", 3), seed), nil
+	default:
+		return nil, fmt.Errorf("unknown generator family %q (see package cli docs)", s.Family)
+	}
+}
+
+// Families lists the spec families for usage messages.
+func Families() string {
+	return "path cycle twocycles grid torus hypercube complete star tree expander gnm cliques lollipop barbell appendixb smallworld ba"
+}
+
+// LoadGraph reads a graph from a file ("-" = stdin) or builds it from a
+// generator spec; exactly one of file/spec must be non-empty.
+func LoadGraph(file, spec string) (*graph.Graph, error) {
+	switch {
+	case file != "" && spec != "":
+		return nil, fmt.Errorf("pass either -graph or -gen, not both")
+	case file == "" && spec == "":
+		return nil, fmt.Errorf("pass -graph FILE or -gen SPEC")
+	case spec != "":
+		s, err := ParseSpec(spec)
+		if err != nil {
+			return nil, err
+		}
+		return s.Build()
+	case file == "-":
+		return graph.ReadEdgeList(os.Stdin)
+	default:
+		f, err := os.Open(file)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return graph.ReadEdgeList(f)
+	}
+}

@@ -1,0 +1,105 @@
+package cli
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"parcc/internal/graph"
+)
+
+func TestParseSpec(t *testing.T) {
+	s, err := ParseSpec("expander:n=512,d=8,seed=3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Family != "expander" || s.Args["n"] != 512 || s.Args["d"] != 8 {
+		t.Fatalf("parsed %+v", s)
+	}
+}
+
+func TestParseSpecErrors(t *testing.T) {
+	for _, bad := range []string{"", ":n=3", "path:n", "path:n=x"} {
+		if _, err := ParseSpec(bad); err == nil {
+			t.Errorf("spec %q should fail", bad)
+		}
+	}
+}
+
+func TestParseSpecBareFamily(t *testing.T) {
+	s, err := ParseSpec("cycle")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := s.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N != 1024 {
+		t.Errorf("default n = %d", g.N)
+	}
+}
+
+func TestBuildAllFamilies(t *testing.T) {
+	for _, fam := range strings.Fields(Families()) {
+		s, err := ParseSpec(fam + ":n=64")
+		if err != nil {
+			t.Fatalf("%s: %v", fam, err)
+		}
+		g, err := s.Build()
+		if err != nil {
+			t.Fatalf("%s: %v", fam, err)
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("%s: %v", fam, err)
+		}
+		if g.N == 0 {
+			t.Errorf("%s: empty graph", fam)
+		}
+	}
+}
+
+func TestBuildUnknownFamily(t *testing.T) {
+	s := Spec{Family: "nope", Args: map[string]int{}}
+	if _, err := s.Build(); err == nil {
+		t.Error("unknown family should error")
+	}
+}
+
+func TestLoadGraphFromFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "g.txt")
+	g := graph.FromPairs(3, [][2]int{{0, 1}, {1, 2}})
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := graph.WriteEdgeList(f, g); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	h, err := LoadGraph(path, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.N != 3 || h.M() != 2 {
+		t.Fatal("loaded graph wrong")
+	}
+}
+
+func TestLoadGraphSpecAndErrors(t *testing.T) {
+	if _, err := LoadGraph("", ""); err == nil {
+		t.Error("neither source should error")
+	}
+	if _, err := LoadGraph("x", "y"); err == nil {
+		t.Error("both sources should error")
+	}
+	g, err := LoadGraph("", "path:n=5")
+	if err != nil || g.N != 5 {
+		t.Errorf("spec load failed: %v", err)
+	}
+	if _, err := LoadGraph("/nonexistent/file", ""); err == nil {
+		t.Error("missing file should error")
+	}
+}

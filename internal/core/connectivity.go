@@ -1,0 +1,397 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"parcc/internal/graph"
+	"parcc/internal/labeled"
+	"parcc/internal/ltz"
+	"parcc/internal/pram"
+	"parcc/internal/prim"
+	"parcc/internal/stage1"
+	"parcc/internal/stage2"
+	"parcc/internal/stage3"
+)
+
+// Result is the outcome of a connectivity run.
+type Result struct {
+	Labels        []int32       // component label (root) per vertex
+	NumComponents int           // number of distinct labels
+	Steps         int64         // charged PRAM time
+	Work          int64         // charged PRAM work
+	Elapsed       time.Duration // wall-clock
+	Phases        int           // INTERWEAVE phases executed (0 for known-λ)
+	PhaseRounds   []int64       // charged steps per phase
+	FinalB        int           // gap guess of the terminating phase
+	UsedRemain    bool          // whether REMAIN performed the completion
+	UsedBackstop  bool          // whether the post-loop backstop ran
+	Breakdown     []pram.Mark   // per-stage cost attribution
+}
+
+// Connectivity runs CONNECTIVITY(G) (§7.1): the full Theorem-1 algorithm
+// with unknown spectral gap.  The returned labeling is always exact — the
+// REMAIN pass (and, under clamped practical parameters, a final backstop of
+// the same kind) completes any component the sampled subgraphs missed.
+func Connectivity(m *pram.Machine, g *graph.Graph, p Params) *Result {
+	start := time.Now()
+	res := &Result{}
+	f := labeled.New(g.N)
+	m.ResetMarks()
+
+	// Step 1 is New's initialization (v.p = v).
+	// Step 2: REDUCE — contract to n/poly(log n) vertices (skipped only by
+	// the E12 ablation profile).
+	s1 := stage1.NewRunner(m, f, p.Stage1)
+	var red stage1.Result
+	if p.SkipStage1 {
+		red = stage1.Result{Edges: append([]graph.Edge(nil), g.Edges...)}
+		red.Roots = make([]int32, g.N)
+		m.Iota32(red.Roots)
+	} else {
+		red = s1.Reduce(g)
+	}
+	m.SetMark("stage1-reduce")
+	Gp := red.Edges // E(G′), kept un-ALTERed for the rest of the run (§7.4)
+	roots := red.Roots
+
+	// Auxiliary array over E(G′) (§7.4.1).
+	aux := stage2.BuildAux(m, g.N, Gp)
+
+	// Step 3: pre-sample H₁ and H₂ with independent randomness.
+	H1 := make([]graph.Edge, 0, len(Gp)/4+4)
+	h1mask := make([]bool, len(Gp))
+	H2 := make([]graph.Edge, 0, len(Gp)/4+4)
+	m.Contract(1, int64(2*len(Gp)), func() {
+		for i, e := range Gp {
+			if pram.SplitMix64(p.Seed^0x11^uint64(i)*0x9e3779b97f4a7c15) < p.SampleP64 {
+				H1 = append(H1, e)
+				h1mask[i] = true
+			}
+			if pram.SplitMix64(p.Seed^0x22^uint64(i)*0xbf58476d1ce4e5b9) < p.SampleP64 {
+				H2 = append(H2, e)
+			}
+		}
+	})
+
+	m.SetMark("presample")
+
+	// Step 4: E_filter = copy of E(G′).
+	Efilter := append([]graph.Edge(nil), Gp...)
+
+	// Step 5: the phase loop.
+	done := false
+	for i := 0; i < p.MaxPhases; i++ {
+		stepsBefore := m.Steps()
+		var finished bool
+		Efilter, H1, finished = interweave(m, f, s1, phaseEnv{
+			p: p, phase: i, roots: roots, aux: aux,
+			Gp: Gp, h1mask: h1mask,
+		}, Efilter, H1, H2)
+		res.Phases = i + 1
+		res.PhaseRounds = append(res.PhaseRounds, m.Steps()-stepsBefore)
+		res.FinalB = p.bSchedule(i)
+		m.SetMark(fmt.Sprintf("phase-%d", i))
+		if finished {
+			done = true
+			res.UsedRemain = true
+			break
+		}
+		if len(Efilter) == 0 {
+			break
+		}
+	}
+
+	// Step 6 + backstop: flatten, then complete any unfinished component
+	// from the unsampled edges (same mechanism as REMAIN; a no-op when the
+	// phase loop finished the work).
+	labeled.FlattenAll(m, f)
+	if !done {
+		res.UsedBackstop = backstop(m, f, Gp, p)
+		labeled.FlattenAll(m, f)
+	}
+	m.SetMark("finish")
+
+	res.Labels = f.Labels()
+	res.NumComponents = graph.NumLabels(res.Labels)
+	res.Steps = m.Steps()
+	res.Work = m.Work()
+	res.Elapsed = time.Since(start)
+	res.Breakdown = m.Marks()
+	return res
+}
+
+// phaseEnv carries the per-run immutable context into interweave.
+type phaseEnv struct {
+	p      Params
+	phase  int
+	roots  []int32 // V(G′): all roots at the end of Stage 1
+	aux    *stage2.Aux
+	Gp     []graph.Edge // E(G′), original (never altered)
+	h1mask []bool
+}
+
+// interweave runs INTERWEAVE(G′,H₁,H₂,E_filter,i) (§7.1).  It returns the
+// updated E_filter and H₁ and whether the phase finished the computation
+// (Step 4 fired and REMAIN completed the components).
+func interweave(m *pram.Machine, f *labeled.Forest, s1 *stage1.Runner, env phaseEnv, Efilter, H1, H2 []graph.Edge) (ef, h1 []graph.Edge, finished bool) {
+	p := env.p
+
+	// Step 1: b for this phase.
+	b := p.bSchedule(env.phase)
+	s2p := stage2.DefaultParams(f.Len(), b)
+	s2p.LTZ = p.LTZ
+	s2p.Seed = p.Seed ^ uint64(env.phase)<<32
+	// Each stage within a phase is limited to O(log b) time (§3.4); a
+	// too-small gap guess must fail fast and fall through to the next
+	// phase rather than solve the instance outright.
+	c := p.SolveRoundsC
+	if c <= 0 {
+		c = 2
+	}
+	s2p.SolveRounds = c * int(prim.Log2Ceil(b+1))
+	if p.DensifyRoundsC > 0 {
+		s2p.DensifyRounds = p.DensifyRoundsC * int(prim.Log2Ceil(b+1))
+	}
+
+	// Snapshot for the Step-5 revert: parents of V(G′) and the H₁ edges.
+	snapP := f.SnapshotOf(env.roots)
+	snapH1 := append([]graph.Edge(nil), H1...)
+
+	// Active roots: roots of V(G′) that still carry a non-loop edge in any
+	// live edge set (fully contracted components have none and are ignored
+	// per the discussion after Definition 7.2).
+	active := activeRoots(m, f, env.roots, Efilter, H1, H2)
+
+	if len(active) > 0 {
+		// Step 2: INCREASE(G′,H₁,H₂,b) — sparse skeleton + densify + heads.
+		H1, _ = stage2.IncreaseSparse(m, f, active, env.aux, H1, H2, s2p)
+
+		// Step 3: 20·log b rounds of EXPAND-MAXLINK on H₁, then Theorem-2
+		// rounds, then ALTER(H₁).
+		lp := p.LTZ
+		lp.Seed ^= uint64(env.phase) * 0x9e37
+		st := ltz.NewState(m, f, active, H1, lp)
+		st.Run(p.H1Rounds * int(prim.Log2Ceil(b+1)))
+		st.Run(p.H1Rounds * int(prim.LogLog(f.Len()+4)))
+		H1 = labeled.Alter(m, f, st.CurrentEdges())
+
+		// Step 4: if H₁ is fully contracted, REMAIN finishes G′.
+		if len(H1) == 0 && st.Done() {
+			remain(m, f, env, p)
+			return nil, nil, true
+		}
+	}
+
+	// Step 5: revert the labeled digraph and H₁ to their Step-1 state.
+	f.RestoreOf(env.roots, snapP)
+	H1 = snapH1
+
+	// Step 6: matching rounds on E_filter with random deletions.
+	rounds := filterRounds(p, env.phase, f.Len())
+	for r := 0; r < rounds; r++ {
+		s1.Matching(Efilter)
+		Efilter = labeled.Alter(m, f, Efilter)
+		Efilter = deleteEdges(m, Efilter, p.FilterDeleteP64, p.Seed^0xdead^uint64(env.phase)<<20^uint64(r))
+		if len(Efilter) == 0 {
+			break
+		}
+	}
+
+	// Step 7: shortcut V(G′) until the trees over it are flat again.
+	shortRounds := env.phase + 2*int(prim.LogLog(f.Len()+4))
+	for r := 0; r < shortRounds; r++ {
+		labeled.Shortcut(m, f, env.roots)
+	}
+
+	// Step 8: E′ = original G′ edges whose endpoint-parent left V(E_filter),
+	// gathered from the auxiliary array; then ALTER(E′).
+	inFilter := markVertexSet(m, f.Len(), Efilter)
+	Ep := env.aux.Gather(m, func(u int32) bool {
+		pu := f.P[u]
+		return inFilter[pu] == 0
+	})
+	Ep = labeled.Alter(m, f, Ep)
+
+	// Step 9: matching + shortcut rounds on E′.
+	for r := 0; r < rounds; r++ {
+		if len(Ep) == 0 {
+			break
+		}
+		s1.Matching(Ep)
+		labeled.Shortcut(m, f, env.roots)
+		Ep = labeled.Alter(m, f, Ep)
+	}
+
+	// Step 10: REVERSE(V(E_filter), E(H₂)).
+	Vf := vertexSetList(m, f.Len(), Efilter)
+	stage1.Reverse(m, f, Vf, H2)
+
+	return Efilter, H1, false
+}
+
+// remain runs REMAIN(G′,H₁) (§7.1): the components of H₁ are all
+// contracted; the sampling lemma of [KKT95] bounds the edges of G′ crossing
+// them by O(|V(G′)|/p), so one Theorem-2 run on E(G′)\E(H₁) finishes.
+func remain(m *pram.Machine, f *labeled.Forest, env phaseEnv, p Params) {
+	// Step 1–2: E_remain = E(G′) \ E(H₁), altered to current parents.
+	Er := stage2.EdgesNotIn(m, env.Gp, env.h1mask)
+	Er = labeled.Alter(m, f, Er)
+	if len(Er) == 0 {
+		return
+	}
+	// Step 3: drop loops and parallel edges.
+	keys := make([]int64, len(Er))
+	for i, e := range Er {
+		keys[i] = prim.PackEdge(e.U, e.V)
+	}
+	keys = prim.DedupPairs(m, keys, true)
+	Er = Er[:0]
+	for _, k := range keys {
+		u, v := prim.UnpackEdge(k)
+		Er = append(Er, graph.Edge{U: u, V: v})
+	}
+	// Step 4: Theorem 2.
+	if len(Er) > 0 {
+		ltz.SolveOn(m, f, vertexSetList(m, f.Len(), Er), Er, p.LTZ)
+	}
+}
+
+// backstop completes any components left unfinished when the phase loop
+// exhausts its budget under clamped practical parameters.  It is the same
+// mechanism as REMAIN applied to all remaining non-loop edges of G′; under
+// the paper's parameters it is provably never needed.
+func backstop(m *pram.Machine, f *labeled.Forest, Gp []graph.Edge, p Params) bool {
+	E := append([]graph.Edge(nil), Gp...)
+	E = labeled.Alter(m, f, E)
+	if len(E) == 0 {
+		return false
+	}
+	ltz.SolveOn(m, f, vertexSetList(m, f.Len(), E), E, p.LTZ)
+	return true
+}
+
+// activeRoots flags roots of V(G′) adjacent to any live non-loop edge.
+func activeRoots(m *pram.Machine, f *labeled.Forest, roots []int32, sets ...[]graph.Edge) []int32 {
+	flag := make([]int32, f.Len())
+	for _, E := range sets {
+		m.For(len(E), func(i int) {
+			e := E[i]
+			if e.U != e.V {
+				pram.SetFlag(flag, int(f.P[e.U]))
+				pram.SetFlag(flag, int(f.P[e.V]))
+			}
+		})
+	}
+	var out []int32
+	m.Contract(prim.LogStar(f.Len())+1, int64(len(roots)), func() {
+		for _, v := range roots {
+			if f.P[v] == v && flag[v] != 0 {
+				out = append(out, v)
+			}
+		}
+	})
+	return out
+}
+
+func filterRounds(p Params, phase, n int) int {
+	r := float64(p.FilterRoundsBase) * float64(prim.LogLog(n+4))
+	for j := 0; j < phase; j++ {
+		r *= p.FilterGrowth
+	}
+	if r > 4096 {
+		r = 4096
+	}
+	if r < 1 {
+		r = 1
+	}
+	return int(r)
+}
+
+func deleteEdges(m *pram.Machine, E []graph.Edge, p64 uint64, seed uint64) []graph.Edge {
+	out := E[:0]
+	m.Contract(1, int64(len(E)), func() {
+		for i, e := range E {
+			if pram.SplitMix64(seed^uint64(i)*0x9e3779b97f4a7c15) >= p64 {
+				out = append(out, e)
+			}
+		}
+	})
+	return out
+}
+
+func markVertexSet(m *pram.Machine, n int, E []graph.Edge) []int32 {
+	flag := make([]int32, n)
+	m.For(len(E), func(i int) {
+		pram.SetFlag(flag, int(E[i].U))
+		pram.SetFlag(flag, int(E[i].V))
+	})
+	return flag
+}
+
+func vertexSetList(m *pram.Machine, n int, E []graph.Edge) []int32 {
+	var out []int32
+	m.Contract(prim.LogStar(n)+1, int64(len(E)), func() {
+		seen := make(map[int32]struct{}, 2*len(E))
+		for _, e := range E {
+			seen[e.U] = struct{}{}
+			seen[e.V] = struct{}{}
+		}
+		out = make([]int32, 0, len(seen))
+		for v := range seen {
+			out = append(out, v)
+		}
+	})
+	return out
+}
+
+// SolveKnownGap runs the three-stage pipeline of §§4–6 (Theorem 3) with a
+// fixed degree target b — the algorithm for graphs whose component-wise
+// spectral gap is promised to be ≥ b^{-0.1}.  The result is exact for every
+// input regardless of the promise, because SAMPLESOLVE's Theorem-2 call is
+// followed by the same backstop cleanup CONNECTIVITY uses.
+func SolveKnownGap(m *pram.Machine, g *graph.Graph, b int, p Params) *Result {
+	start := time.Now()
+	f := labeled.New(g.N)
+	m.ResetMarks()
+
+	// Stage 1: REDUCE.
+	s1 := stage1.NewRunner(m, f, p.Stage1)
+	red := s1.Reduce(g)
+	m.SetMark("stage1-reduce")
+
+	// Stage 2: INCREASE to min degree b.
+	s2p := stage2.DefaultParams(g.N, b)
+	s2p.LTZ = p.LTZ
+	E := append([]graph.Edge(nil), red.Edges...)
+	if len(E) > 0 {
+		stage2.Increase(m, f, red.Roots, E, s2p)
+	}
+	m.SetMark("stage2-increase")
+
+	// Stage 3: SAMPLESOLVE on the current graph.
+	active := activeRoots(m, f, red.Roots, E)
+	if len(active) > 0 {
+		E = labeled.Alter(m, f, E)
+		stage3.SampleSolve(m, f, active, E, p.Stage3)
+	}
+	m.SetMark("stage3-samplesolve")
+
+	// Backstop for sampling losses (the §3.4 corner case / KKT cleanup).
+	labeled.FlattenAll(m, f)
+	usedBackstop := backstop(m, f, red.Edges, p)
+	labeled.FlattenAll(m, f)
+	m.SetMark("backstop")
+
+	labels := f.Labels()
+	return &Result{
+		Labels:        labels,
+		NumComponents: graph.NumLabels(labels),
+		Steps:         m.Steps(),
+		Work:          m.Work(),
+		Elapsed:       time.Since(start),
+		FinalB:        b,
+		UsedBackstop:  usedBackstop,
+		Breakdown:     m.Marks(),
+	}
+}

@@ -1,0 +1,124 @@
+package graph
+
+import "fmt"
+
+// Certificate is an independently checkable witness for a component
+// labeling: a spanning forest using only input edges.  Any labeling our
+// algorithms produce can be certified in O(m α(n)) sequential time, and a
+// third party can validate the certificate without trusting the solver.
+type Certificate struct {
+	Labels []int32
+	Forest []Edge // spanning-forest edges drawn from the input multigraph
+}
+
+// BuildCertificate constructs a spanning forest consistent with labels.
+// It errors if labels merge vertices that the edges do not connect, or
+// split vertices that they do — i.e. it doubles as an exact checker.
+func BuildCertificate(g *Graph, labels []int32) (*Certificate, error) {
+	if len(labels) != g.N {
+		return nil, fmt.Errorf("labels length %d for %d vertices", len(labels), g.N)
+	}
+	parent := make([]int32, g.N)
+	for i := range parent {
+		parent[i] = int32(i)
+	}
+	var find func(x int32) int32
+	find = func(x int32) int32 {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	forest := make([]Edge, 0, g.N)
+	for _, e := range g.Edges {
+		if labels[e.U] != labels[e.V] {
+			return nil, fmt.Errorf("labels split edge (%d,%d)", e.U, e.V)
+		}
+		ru, rv := find(e.U), find(e.V)
+		if ru != rv {
+			parent[rv] = ru
+			forest = append(forest, e)
+		}
+	}
+	// The labeling must not merge vertices the edges leave apart: all
+	// vertices sharing a label must share a union-find representative.
+	rep := map[int32]int32{} // label -> union-find representative
+	for v := 0; v < g.N; v++ {
+		r := find(int32(v))
+		if prev, ok := rep[labels[v]]; ok {
+			if prev != r {
+				return nil, fmt.Errorf("label %d covers disconnected vertices", labels[v])
+			}
+		} else {
+			rep[labels[v]] = r
+		}
+	}
+	return &Certificate{Labels: labels, Forest: forest}, nil
+}
+
+// VerifyCertificate checks a certificate against the graph from scratch:
+// every forest edge must exist in the multigraph, the forest must be
+// acyclic, and its components must coincide with the labels.
+func VerifyCertificate(g *Graph, c *Certificate) error {
+	if c == nil || len(c.Labels) != g.N {
+		return fmt.Errorf("malformed certificate")
+	}
+	// multiset membership of forest edges
+	have := map[int64]int{}
+	for _, e := range g.Edges {
+		u, v := e.U, e.V
+		if u > v {
+			u, v = v, u
+		}
+		have[int64(u)<<32|int64(uint32(v))]++
+	}
+	uf := make([]int32, g.N)
+	for i := range uf {
+		uf[i] = int32(i)
+	}
+	var find func(x int32) int32
+	find = func(x int32) int32 {
+		for uf[x] != x {
+			uf[x] = uf[uf[x]]
+			x = uf[x]
+		}
+		return x
+	}
+	for _, e := range c.Forest {
+		u, v := e.U, e.V
+		if u < 0 || int(u) >= g.N || v < 0 || int(v) >= g.N {
+			return fmt.Errorf("forest edge (%d,%d) out of range", u, v)
+		}
+		ku, kv := u, v
+		if ku > kv {
+			ku, kv = kv, ku
+		}
+		k := int64(ku)<<32 | int64(uint32(kv))
+		if have[k] == 0 {
+			return fmt.Errorf("forest edge (%d,%d) not in the graph", u, v)
+		}
+		have[k]--
+		ru, rv := find(u), find(v)
+		if ru == rv {
+			return fmt.Errorf("forest edge (%d,%d) closes a cycle", u, v)
+		}
+		uf[rv] = ru
+	}
+	// forest components must equal the labeling's partition
+	repByLabel := map[int32]int32{}
+	repByRoot := map[int32]int32{}
+	for v := 0; v < g.N; v++ {
+		r := find(int32(v))
+		l := c.Labels[v]
+		if prev, ok := repByLabel[l]; ok && prev != r {
+			return fmt.Errorf("label %d spans two forest trees", l)
+		}
+		repByLabel[l] = r
+		if prev, ok := repByRoot[r]; ok && prev != l {
+			return fmt.Errorf("forest tree of %d spans two labels", v)
+		}
+		repByRoot[r] = l
+	}
+	return nil
+}

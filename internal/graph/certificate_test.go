@@ -1,0 +1,117 @@
+package graph
+
+import "testing"
+
+func pathGraph(n int) *Graph {
+	g := New(n)
+	for i := 0; i+1 < n; i++ {
+		g.AddEdge(i, i+1)
+	}
+	return g
+}
+
+func TestCertificateRoundTrip(t *testing.T) {
+	g := pathGraph(6)
+	g.AddEdge(0, 0) // loop should be irrelevant
+	labels := []int32{0, 0, 0, 0, 0, 0}
+	c, err := BuildCertificate(g, labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Forest) != 5 {
+		t.Fatalf("forest has %d edges, want 5", len(c.Forest))
+	}
+	if err := VerifyCertificate(g, c); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCertificateMultipleComponents(t *testing.T) {
+	g := New(5)
+	g.AddEdge(0, 1)
+	g.AddEdge(3, 4)
+	labels := []int32{0, 0, 2, 3, 3}
+	c, err := BuildCertificate(g, labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Forest) != 2 {
+		t.Fatalf("forest size %d", len(c.Forest))
+	}
+	if err := VerifyCertificate(g, c); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBuildCertificateRejectsSplit(t *testing.T) {
+	g := pathGraph(3)
+	if _, err := BuildCertificate(g, []int32{0, 0, 2}); err == nil {
+		t.Fatal("labels splitting an edge must be rejected")
+	}
+}
+
+func TestBuildCertificateRejectsMerge(t *testing.T) {
+	g := New(4)
+	g.AddEdge(0, 1) // {0,1} and {2,3} disconnected
+	g.AddEdge(2, 3)
+	if _, err := BuildCertificate(g, []int32{0, 0, 0, 0}); err == nil {
+		t.Fatal("labels merging disconnected vertices must be rejected")
+	}
+}
+
+func TestBuildCertificateLengthMismatch(t *testing.T) {
+	if _, err := BuildCertificate(pathGraph(3), []int32{0}); err == nil {
+		t.Fatal("length mismatch must be rejected")
+	}
+}
+
+func TestVerifyCertificateRejectsForgery(t *testing.T) {
+	g := pathGraph(4)
+	labels := []int32{0, 0, 0, 0}
+	c, err := BuildCertificate(g, labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// forged edge not in graph
+	bad := &Certificate{Labels: labels, Forest: []Edge{{U: 0, V: 3}}}
+	if VerifyCertificate(g, bad) == nil {
+		t.Fatal("edge not in graph must be rejected")
+	}
+	// cycle in forest
+	cyc := &Certificate{Labels: labels, Forest: append(append([]Edge(nil), c.Forest...), c.Forest[0])}
+	if VerifyCertificate(g, cyc) == nil {
+		t.Fatal("cycle must be rejected")
+	}
+	// labels spanning two trees
+	twoTrees := &Certificate{Labels: labels, Forest: c.Forest[:2]}
+	if VerifyCertificate(g, twoTrees) == nil {
+		t.Fatal("under-connected forest must be rejected")
+	}
+	// out-of-range forest edge
+	oor := &Certificate{Labels: labels, Forest: []Edge{{U: 0, V: 9}}}
+	if VerifyCertificate(g, oor) == nil {
+		t.Fatal("out-of-range edge must be rejected")
+	}
+	if VerifyCertificate(g, nil) == nil {
+		t.Fatal("nil certificate must be rejected")
+	}
+	// original remains valid
+	if err := VerifyCertificate(g, c); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCertificateUsesMultisetMembership(t *testing.T) {
+	// A forest may use a parallel edge only as many times as it appears.
+	g := New(2)
+	g.AddEdge(0, 1)
+	labels := []int32{0, 0}
+	c, _ := BuildCertificate(g, labels)
+	dup := &Certificate{Labels: labels, Forest: []Edge{{U: 0, V: 1}, {U: 0, V: 1}}}
+	if VerifyCertificate(g, dup) == nil {
+		t.Fatal("overusing a single edge must be rejected (it also cycles)")
+	}
+	if err := VerifyCertificate(g, c); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,89 @@
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// WriteDIMACS writes g in the DIMACS edge format:
+//
+//	c comment
+//	p edge <n> <m>
+//	e <u> <v>      (1-based endpoints)
+//
+// the lingua franca of graph benchmarks, so generated workloads can be fed
+// to external solvers.
+func WriteDIMACS(w io.Writer, g *Graph, comment string) error {
+	bw := bufio.NewWriter(w)
+	if comment != "" {
+		for _, line := range strings.Split(comment, "\n") {
+			if _, err := fmt.Fprintf(bw, "c %s\n", line); err != nil {
+				return err
+			}
+		}
+	}
+	if _, err := fmt.Fprintf(bw, "p edge %d %d\n", g.N, len(g.Edges)); err != nil {
+		return err
+	}
+	for _, e := range g.Edges {
+		if _, err := fmt.Fprintf(bw, "e %d %d\n", e.U+1, e.V+1); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadDIMACS parses the DIMACS edge format ("p edge"/"p col" headers are
+// both accepted; "c" lines are skipped; endpoints are 1-based).
+func ReadDIMACS(r io.Reader) (*Graph, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<24)
+	var g *Graph
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "c") {
+			continue
+		}
+		switch text[0] {
+		case 'p':
+			if g != nil {
+				return nil, fmt.Errorf("line %d: duplicate problem line", line)
+			}
+			var kind string
+			var n, m int
+			if _, err := fmt.Sscanf(text, "p %s %d %d", &kind, &n, &m); err != nil {
+				return nil, fmt.Errorf("line %d: bad problem line: %v", line, err)
+			}
+			if n < 0 || m < 0 {
+				return nil, fmt.Errorf("line %d: negative sizes", line)
+			}
+			g = New(n)
+			g.Edges = make([]Edge, 0, m)
+		case 'e', 'a':
+			if g == nil {
+				return nil, fmt.Errorf("line %d: edge before problem line", line)
+			}
+			var u, v int
+			if _, err := fmt.Sscanf(text[1:], "%d %d", &u, &v); err != nil {
+				return nil, fmt.Errorf("line %d: bad edge: %v", line, err)
+			}
+			if u < 1 || u > g.N || v < 1 || v > g.N {
+				return nil, fmt.Errorf("line %d: endpoint out of range", line)
+			}
+			g.AddEdge(u-1, v-1)
+		default:
+			return nil, fmt.Errorf("line %d: unknown record %q", line, text[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if g == nil {
+		return nil, fmt.Errorf("missing problem line")
+	}
+	return g, nil
+}

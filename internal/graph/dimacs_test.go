@@ -1,0 +1,72 @@
+package graph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestDIMACSRoundTrip(t *testing.T) {
+	g := FromPairs(5, [][2]int{{0, 1}, {1, 2}, {4, 4}, {3, 0}})
+	var buf bytes.Buffer
+	if err := WriteDIMACS(&buf, g, "test graph\nsecond line"); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "c test graph") || !strings.Contains(out, "c second line") {
+		t.Error("comment lines missing")
+	}
+	if !strings.Contains(out, "p edge 5 4") {
+		t.Errorf("problem line missing:\n%s", out)
+	}
+	h, err := ReadDIMACS(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.N != g.N || h.M() != g.M() {
+		t.Fatalf("round trip: n=%d m=%d", h.N, h.M())
+	}
+	for i := range g.Edges {
+		if g.Edges[i] != h.Edges[i] {
+			t.Fatal("edges changed in round trip")
+		}
+	}
+}
+
+func TestReadDIMACSSkipsCommentsAndBlank(t *testing.T) {
+	in := "c hello\n\np edge 3 2\nc mid\ne 1 2\ne 2 3\n"
+	g, err := ReadDIMACS(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N != 3 || g.M() != 2 {
+		t.Fatalf("n=%d m=%d", g.N, g.M())
+	}
+}
+
+func TestReadDIMACSAcceptsArcRecords(t *testing.T) {
+	g, err := ReadDIMACS(strings.NewReader("p sp 2 1\na 1 2\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.M() != 1 || g.Edges[0] != (Edge{U: 0, V: 1}) {
+		t.Fatal("arc record not parsed")
+	}
+}
+
+func TestReadDIMACSErrors(t *testing.T) {
+	cases := map[string]string{
+		"no problem":     "e 1 2\n",
+		"empty":          "",
+		"double problem": "p edge 2 1\np edge 2 1\n",
+		"bad record":     "p edge 2 1\nx 1 2\n",
+		"range":          "p edge 2 1\ne 1 9\n",
+		"negative":       "p edge -2 1\n",
+		"malformed edge": "p edge 2 1\ne one two\n",
+	}
+	for name, in := range cases {
+		if _, err := ReadDIMACS(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+}

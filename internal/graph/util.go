@@ -1,0 +1,133 @@
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// InducedSubgraph returns the subgraph induced on the given vertices,
+// relabeled to 0..len(verts)-1 in the given order, plus the mapping back to
+// original ids.  Edges with an endpoint outside the set are dropped; loops
+// and parallel edges inside it are kept (multigraph semantics).
+func InducedSubgraph(g *Graph, verts []int32) (*Graph, []int32) {
+	idx := make(map[int32]int32, len(verts))
+	back := make([]int32, len(verts))
+	for i, v := range verts {
+		idx[v] = int32(i)
+		back[i] = v
+	}
+	out := New(len(verts))
+	for _, e := range g.Edges {
+		u, okU := idx[e.U]
+		v, okV := idx[e.V]
+		if okU && okV {
+			out.Edges = append(out.Edges, Edge{U: u, V: v})
+		}
+	}
+	return out, back
+}
+
+// Relabel renames vertices through perm (perm[v] is v's new id, a
+// permutation of 0..n-1).  Adversarial relabelings exercise the
+// label-ordering sensitivity of hook-to-smaller algorithms.
+func Relabel(g *Graph, perm []int32) (*Graph, error) {
+	if len(perm) != g.N {
+		return nil, fmt.Errorf("perm has %d entries for %d vertices", len(perm), g.N)
+	}
+	seen := make([]bool, g.N)
+	for _, p := range perm {
+		if p < 0 || int(p) >= g.N || seen[p] {
+			return nil, fmt.Errorf("perm is not a permutation")
+		}
+		seen[p] = true
+	}
+	out := New(g.N)
+	out.Edges = make([]Edge, len(g.Edges))
+	for i, e := range g.Edges {
+		out.Edges[i] = Edge{U: perm[e.U], V: perm[e.V]}
+	}
+	return out, nil
+}
+
+// Stats summarizes a graph for reports.
+type Stats struct {
+	N, M          int
+	Loops         int
+	Parallel      int // edges beyond the first between a pair
+	Isolated      int
+	MinDeg        int32
+	MaxDeg        int32
+	AvgDeg        float64
+	DegreeHistLog []int // bucket i counts vertices with degree in [2^i, 2^(i+1))
+}
+
+// Summarize computes Stats in one pass.
+func Summarize(g *Graph) Stats {
+	s := Stats{N: g.N, M: len(g.Edges)}
+	deg := g.Degrees()
+	seen := make(map[int64]struct{}, len(g.Edges))
+	for _, e := range g.Edges {
+		if e.U == e.V {
+			s.Loops++
+			continue
+		}
+		u, v := e.U, e.V
+		if u > v {
+			u, v = v, u
+		}
+		k := int64(u)<<32 | int64(uint32(v))
+		if _, dup := seen[k]; dup {
+			s.Parallel++
+		} else {
+			seen[k] = struct{}{}
+		}
+	}
+	if g.N == 0 {
+		return s
+	}
+	s.MinDeg = deg[0]
+	var total int64
+	for _, d := range deg {
+		if d == 0 {
+			s.Isolated++
+		}
+		if d < s.MinDeg {
+			s.MinDeg = d
+		}
+		if d > s.MaxDeg {
+			s.MaxDeg = d
+		}
+		total += int64(d)
+		b := 0
+		for dd := d; dd > 1; dd >>= 1 {
+			b++
+		}
+		for len(s.DegreeHistLog) <= b {
+			s.DegreeHistLog = append(s.DegreeHistLog, 0)
+		}
+		s.DegreeHistLog[b]++
+	}
+	s.AvgDeg = float64(total) / float64(g.N)
+	return s
+}
+
+// String renders Stats compactly.
+func (s Stats) String() string {
+	return fmt.Sprintf("n=%d m=%d loops=%d parallel=%d isolated=%d deg[min=%d avg=%.2f max=%d]",
+		s.N, s.M, s.Loops, s.Parallel, s.Isolated, s.MinDeg, s.AvgDeg, s.MaxDeg)
+}
+
+// ComponentSizes returns the multiset of component sizes (descending) given
+// a labeling.
+func ComponentSizes(labels []int32) []int {
+	count := map[int32]int{}
+	for _, l := range labels {
+		count[l]++
+	}
+	out := make([]int, 0, len(count))
+	for _, c := range count {
+		out = append(out, c)
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(out)))
+	return out
+}

@@ -1,0 +1,96 @@
+package graph
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestInducedSubgraph(t *testing.T) {
+	g := FromPairs(6, [][2]int{{0, 1}, {1, 2}, {2, 3}, {4, 5}, {1, 1}})
+	sub, back := InducedSubgraph(g, []int32{1, 2, 3})
+	if sub.N != 3 {
+		t.Fatalf("n=%d", sub.N)
+	}
+	// kept: (1,2)->(0,1), (2,3)->(1,2), (1,1)->(0,0); dropped: (0,1),(4,5)
+	if sub.M() != 3 {
+		t.Fatalf("m=%d, want 3", sub.M())
+	}
+	if back[0] != 1 || back[2] != 3 {
+		t.Fatalf("back map %v", back)
+	}
+}
+
+func TestInducedSubgraphEmpty(t *testing.T) {
+	g := FromPairs(3, [][2]int{{0, 1}})
+	sub, back := InducedSubgraph(g, nil)
+	if sub.N != 0 || sub.M() != 0 || len(back) != 0 {
+		t.Fatal("empty induced subgraph wrong")
+	}
+}
+
+func TestRelabel(t *testing.T) {
+	g := FromPairs(3, [][2]int{{0, 1}, {1, 2}})
+	h, err := Relabel(g, []int32{2, 0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Edges[0] != (Edge{U: 2, V: 0}) || h.Edges[1] != (Edge{U: 0, V: 1}) {
+		t.Fatalf("relabel wrong: %v", h.Edges)
+	}
+}
+
+func TestRelabelErrors(t *testing.T) {
+	g := FromPairs(3, [][2]int{{0, 1}})
+	if _, err := Relabel(g, []int32{0, 1}); err == nil {
+		t.Error("short perm should error")
+	}
+	if _, err := Relabel(g, []int32{0, 0, 1}); err == nil {
+		t.Error("non-permutation should error")
+	}
+	if _, err := Relabel(g, []int32{0, 1, 9}); err == nil {
+		t.Error("out-of-range perm should error")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	g := FromPairs(5, [][2]int{{0, 1}, {0, 1}, {2, 2}, {1, 3}})
+	s := Summarize(g)
+	if s.Loops != 1 || s.Parallel != 1 || s.Isolated != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+	if s.MinDeg != 0 || s.MaxDeg != 3 {
+		t.Fatalf("degrees = %+v", s)
+	}
+	if !strings.Contains(s.String(), "loops=1") {
+		t.Error("String rendering missing fields")
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	s := Summarize(New(0))
+	if s.N != 0 || s.MaxDeg != 0 {
+		t.Fatal("empty stats wrong")
+	}
+}
+
+func TestSummarizeHistogram(t *testing.T) {
+	// degrees: 0 -> bucket 0; 1 -> bucket 0; 2,3 -> bucket 1; 4..7 -> 2.
+	g := FromPairs(3, [][2]int{{0, 1}, {0, 1}, {0, 2}, {0, 2}})
+	s := Summarize(g) // deg(0)=4, deg(1)=2, deg(2)=2
+	if len(s.DegreeHistLog) != 3 {
+		t.Fatalf("hist %v", s.DegreeHistLog)
+	}
+	if s.DegreeHistLog[1] != 2 || s.DegreeHistLog[2] != 1 {
+		t.Fatalf("hist %v", s.DegreeHistLog)
+	}
+}
+
+func TestComponentSizes(t *testing.T) {
+	sizes := ComponentSizes([]int32{0, 0, 0, 3, 3, 5})
+	if len(sizes) != 3 || sizes[0] != 3 || sizes[1] != 2 || sizes[2] != 1 {
+		t.Fatalf("sizes = %v", sizes)
+	}
+	if len(ComponentSizes(nil)) != 0 {
+		t.Error("empty labels")
+	}
+}

@@ -1,0 +1,310 @@
+// Package labeled implements the labeled digraph of §2.1: the global parent
+// field v.p over all vertices, plus the shared subroutines ALTER and
+// SHORTCUT that every stage of the algorithm uses.  Arcs (v, v.p) form the
+// forest; a vertex with v.p == v is a root; trees of height ≤ 1 are flat.
+//
+// The package also exposes the structural invariants the paper proves
+// (heights, acyclicity, edges-on-roots) as checkable predicates so that
+// tests can assert Lemmas 4.5–4.9/4.21/5.22 directly on running state.
+package labeled
+
+import (
+	"fmt"
+
+	"parcc/internal/graph"
+	"parcc/internal/pram"
+)
+
+// Forest is the labeled digraph: P[v] is the parent of v.
+type Forest struct {
+	P   []int32
+	tmp []int32 // scratch for synchronous shortcuts
+}
+
+// New returns the initial forest where every vertex is its own parent.
+func New(n int) *Forest {
+	f := &Forest{P: make([]int32, n)}
+	for i := range f.P {
+		f.P[i] = int32(i)
+	}
+	return f
+}
+
+// Len returns the number of vertices.
+func (f *Forest) Len() int { return len(f.P) }
+
+// IsRoot reports whether v is a root.
+func (f *Forest) IsRoot(v int32) bool { return f.P[v] == v }
+
+// Parent returns v.p.
+func (f *Forest) Parent(v int32) int32 { return f.P[v] }
+
+// Root chases parent pointers from v to the root of its tree.
+func (f *Forest) Root(v int32) int32 {
+	for f.P[v] != v {
+		v = f.P[v]
+	}
+	return v
+}
+
+// Snapshot returns a copy of the parent array, for the phase-revert step of
+// INTERWEAVE (Step 5).
+func (f *Forest) Snapshot() []int32 {
+	s := make([]int32, len(f.P))
+	copy(s, f.P)
+	return s
+}
+
+// Restore overwrites the parent array from a snapshot.
+func (f *Forest) Restore(s []int32) {
+	copy(f.P, s)
+}
+
+// SnapshotOf copies the parents of the listed vertices only (the paper's
+// revert copies pointers for v ∈ V(G′), Lemma 7.17).
+func (f *Forest) SnapshotOf(vs []int32) []int32 {
+	s := make([]int32, len(vs))
+	for i, v := range vs {
+		s[i] = f.P[v]
+	}
+	return s
+}
+
+// RestoreOf undoes SnapshotOf.
+func (f *Forest) RestoreOf(vs []int32, s []int32) {
+	for i, v := range vs {
+		f.P[v] = s[i]
+	}
+}
+
+// Alter is ALTER(E) of §4.2: replace each edge (u,v) by (u.p, v.p) and
+// remove loops.  The surviving edges are returned compacted (the paper keeps
+// holes and compacts with Lemma 4.2 where needed; folding the filter into
+// the same step charges the same O(|E|) work and O(1) time).
+func Alter(m *pram.Machine, f *Forest, E []graph.Edge) []graph.Edge {
+	p := f.P
+	m.For(len(E), func(i int) {
+		E[i].U = pram.Load32(p, int(E[i].U))
+		E[i].V = pram.Load32(p, int(E[i].V))
+	})
+	out := E[:0]
+	m.Contract(1, int64(len(E)), func() {
+		for _, e := range E {
+			if e.U != e.V {
+				out = append(out, e)
+			}
+		}
+	})
+	return out
+}
+
+// AlterKeep replaces endpoints by parents but keeps loops in place, for the
+// call sites (Stage 2/3) where the paper explicitly retains loops.
+func AlterKeep(m *pram.Machine, f *Forest, E []graph.Edge) {
+	p := f.P
+	m.For(len(E), func(i int) {
+		E[i].U = pram.Load32(p, int(E[i].U))
+		E[i].V = pram.Load32(p, int(E[i].V))
+	})
+}
+
+// Shortcut is SHORTCUT(V): v.p = v.p.p for each listed vertex.  PRAM steps
+// are synchronous — a step's reads see the previous step's state — so the
+// grandparents are gathered into scratch before any cell is written; without
+// this, intra-step cascades would compress paths faster than the model
+// allows and corrupt the time accounting.
+func Shortcut(m *pram.Machine, f *Forest, vs []int32) {
+	p := f.P
+	tmp := f.scratch(len(vs))
+	m.For(len(vs), func(i int) {
+		pv := pram.Load32(p, int(vs[i]))
+		tmp[i] = pram.Load32(p, int(pv))
+	})
+	m.For(len(vs), func(i int) {
+		pram.Store32(p, int(vs[i]), tmp[i])
+	})
+}
+
+// ShortcutAll applies v.p = v.p.p to every vertex (synchronously; see
+// Shortcut).
+func ShortcutAll(m *pram.Machine, f *Forest) {
+	p := f.P
+	tmp := f.scratch(len(p))
+	m.For(len(p), func(i int) {
+		pv := pram.Load32(p, i)
+		tmp[i] = pram.Load32(p, int(pv))
+	})
+	m.For(len(p), func(i int) {
+		pram.Store32(p, i, tmp[i])
+	})
+}
+
+// FlattenAll shortcuts every vertex until all trees are flat, charging one
+// round per iteration.  Rounds are O(log maxHeight).
+func FlattenAll(m *pram.Machine, f *Forest) {
+	p := f.P
+	tmp := f.scratch(len(p))
+	for {
+		flag := []int32{0}
+		m.For(len(p), func(i int) {
+			pv := pram.Load32(p, i)
+			gp := pram.Load32(p, int(pv))
+			if gp != pv {
+				pram.SetFlag(flag, 0)
+			}
+			tmp[i] = gp
+		})
+		m.For(len(p), func(i int) {
+			pram.Store32(p, i, tmp[i])
+		})
+		if flag[0] == 0 {
+			return
+		}
+	}
+}
+
+// scratch returns a reusable buffer of at least k parent slots.  Forest
+// methods are orchestrated from a single goroutine, so one buffer suffices.
+func (f *Forest) scratch(k int) []int32 {
+	if cap(f.tmp) < k {
+		f.tmp = make([]int32, k)
+	}
+	return f.tmp[:k]
+}
+
+// Labels returns the final component labels: the root of each vertex.  This
+// is an output helper (memoized pointer-chase), not a charged PRAM step.
+func (f *Forest) Labels() []int32 {
+	n := len(f.P)
+	out := make([]int32, n)
+	state := make([]int8, n) // 0 unvisited, 1 done
+	stack := make([]int32, 0, 64)
+	for v := 0; v < n; v++ {
+		if state[v] == 1 {
+			continue
+		}
+		x := int32(v)
+		stack = stack[:0]
+		for state[x] == 0 && f.P[x] != x {
+			stack = append(stack, x)
+			state[x] = 2 // on stack
+			x = f.P[x]
+			if state[x] == 2 {
+				// Defensive: a cycle among non-roots would be a bug in the
+				// algorithms; treat the current vertex as the representative.
+				break
+			}
+		}
+		var root int32
+		if state[x] == 1 {
+			root = out[x]
+		} else {
+			root = x
+			out[x] = x
+			state[x] = 1
+		}
+		for _, y := range stack {
+			out[y] = root
+			state[y] = 1
+		}
+	}
+	return out
+}
+
+// MaxHeight returns the maximum tree height (0 for singleton trees, per the
+// paper's definition).  Test helper; uncharged.
+func (f *Forest) MaxHeight() int {
+	depth := make([]int32, len(f.P))
+	for i := range depth {
+		depth[i] = -1
+	}
+	var h int
+	var chase func(v int32) int32
+	chase = func(v int32) int32 {
+		if depth[v] >= 0 {
+			return depth[v]
+		}
+		if f.P[v] == v {
+			depth[v] = 0
+			return 0
+		}
+		depth[v] = chase(f.P[v]) + 1
+		return depth[v]
+	}
+	for v := range f.P {
+		d := int(chase(int32(v)))
+		if d > h {
+			h = d
+		}
+	}
+	return h
+}
+
+// CheckAcyclic verifies that the only cycles are self-loops at roots.
+func (f *Forest) CheckAcyclic() error {
+	n := len(f.P)
+	state := make([]int8, n)
+	for v := 0; v < n; v++ {
+		x := int32(v)
+		var path []int32
+		for state[x] == 0 {
+			if f.P[x] == x {
+				break
+			}
+			state[x] = 2
+			path = append(path, x)
+			x = f.P[x]
+			if state[x] == 2 {
+				return fmt.Errorf("cycle through non-root vertex %d", x)
+			}
+		}
+		for _, y := range path {
+			state[y] = 1
+		}
+	}
+	return nil
+}
+
+// CheckEdgesOnRoots verifies the Lemma 4.9/4.21 postcondition that both ends
+// of every edge are roots.
+func CheckEdgesOnRoots(f *Forest, E []graph.Edge) error {
+	for i, e := range E {
+		if !f.IsRoot(e.U) || !f.IsRoot(e.V) {
+			return fmt.Errorf("edge %d=(%d,%d) has a non-root end (p=%d,%d)",
+				i, e.U, e.V, f.P[e.U], f.P[e.V])
+		}
+	}
+	return nil
+}
+
+// CheckSameComponent verifies contraction safety: every vertex's parent lies
+// in the same ground-truth component.
+func CheckSameComponent(f *Forest, truth []int32) error {
+	for v, p := range f.P {
+		if truth[v] != truth[p] {
+			return fmt.Errorf("vertex %d (comp %d) points to parent %d (comp %d)",
+				v, truth[v], p, truth[p])
+		}
+	}
+	return nil
+}
+
+// Roots returns the current roots among the given vertices (or all vertices
+// if vs is nil).  Uncharged helper for stage drivers and tests.
+func (f *Forest) Roots(vs []int32) []int32 {
+	var out []int32
+	if vs == nil {
+		for v := range f.P {
+			if f.P[v] == int32(v) {
+				out = append(out, int32(v))
+			}
+		}
+		return out
+	}
+	for _, v := range vs {
+		if f.P[v] == v {
+			out = append(out, v)
+		}
+	}
+	return out
+}

@@ -1,0 +1,364 @@
+// Package pram simulates an ARBITRARY CRCW PRAM on top of a goroutine pool.
+//
+// The paper's algorithms are specified as sequences of synchronous parallel
+// loops ("for each edge ...", "for each vertex ...").  Each call to
+// Machine.For is one such loop: it charges one unit of parallel time (a PRAM
+// step) and one unit of work per active item, and executes the body over a
+// pool of goroutines.  Concurrent writes to the same cell must be performed
+// through the atomic helpers in this package; the winner is arbitrary, and —
+// exactly as the ARBITRARY CRCW model demands — the algorithms built on top
+// are correct no matter which writer wins.
+//
+// Classical PRAM primitives with known (time, work) contracts (approximate
+// compaction, padded sort, perfect hashing; see internal/prim) run inside
+// Machine.Contract, which suspends per-loop accounting and charges the
+// published contract instead, so that the measured time and work are exactly
+// the quantities the paper charges.
+package pram
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Order controls how a sequential machine resolves concurrent writes.  In a
+// real CRCW machine the winning writer is arbitrary; in sequential mode the
+// iteration order determines the last (winning) writer, so varying the order
+// exercises the "correct under any resolution" obligation of the model.
+type Order int
+
+const (
+	// Forward iterates 0..n-1 (the last writer in index order wins).
+	Forward Order = iota
+	// Reverse iterates n-1..0.
+	Reverse
+	// Shuffled iterates in a seeded pseudo-random order.
+	Shuffled
+)
+
+func (o Order) String() string {
+	switch o {
+	case Forward:
+		return "forward"
+	case Reverse:
+		return "reverse"
+	case Shuffled:
+		return "shuffled"
+	default:
+		return fmt.Sprintf("Order(%d)", int(o))
+	}
+}
+
+// Machine is a simulated ARBITRARY CRCW PRAM.  The zero value is not usable;
+// construct with New.  All orchestration methods (For, Contract, ...) must be
+// called from a single goroutine; loop bodies run concurrently.
+type Machine struct {
+	workers int
+	seq     bool
+	order   Order
+	seed    uint64
+	grain   int
+
+	suspend int // >0 while running inside a Contract
+	steps   int64
+	work    int64
+
+	marks         []Mark
+	lastMarkSteps int64
+	lastMarkWork  int64
+
+	wg sync.WaitGroup
+}
+
+// Option configures a Machine.
+type Option func(*Machine)
+
+// Workers sets the number of goroutines used for parallel loops.
+// Values < 1 select runtime.NumCPU().
+func Workers(n int) Option {
+	return func(m *Machine) {
+		if n >= 1 {
+			m.workers = n
+		}
+	}
+}
+
+// Sequential forces single-threaded, deterministic execution.  Combined with
+// WriteOrder it makes concurrent-write resolution reproducible.
+func Sequential() Option {
+	return func(m *Machine) { m.seq = true; m.workers = 1 }
+}
+
+// WriteOrder selects the iteration order used in sequential mode.
+func WriteOrder(o Order) Option {
+	return func(m *Machine) { m.order = o }
+}
+
+// Seed sets the seed for the machine's per-step random streams.
+func Seed(s uint64) Option {
+	return func(m *Machine) { m.seed = s }
+}
+
+// Grain sets the minimum loop size that is split across goroutines.
+func Grain(g int) Option {
+	return func(m *Machine) {
+		if g >= 1 {
+			m.grain = g
+		}
+	}
+}
+
+// New returns a machine with the given options applied.
+func New(opts ...Option) *Machine {
+	m := &Machine{
+		workers: runtime.NumCPU(),
+		order:   Forward,
+		seed:    0x9e3779b97f4a7c15,
+		grain:   4096,
+	}
+	for _, o := range opts {
+		o(m)
+	}
+	if m.workers < 1 {
+		m.workers = 1
+	}
+	return m
+}
+
+// WorkersHint returns the number of goroutines the machine uses for loops;
+// primitives may use it to parallelize their uncharged internals.
+func (m *Machine) WorkersHint() int {
+	if m.seq {
+		return 1
+	}
+	return m.workers
+}
+
+// Steps reports the number of parallel time steps charged so far.
+func (m *Machine) Steps() int64 { return m.steps }
+
+// Work reports the total work (operations) charged so far.
+func (m *Machine) Work() int64 { return m.work }
+
+// Reset zeroes the time and work counters and the mark log.
+func (m *Machine) Reset() {
+	m.steps, m.work = 0, 0
+	m.marks = nil
+	m.lastMarkSteps, m.lastMarkWork = 0, 0
+}
+
+// ChargeTime adds t parallel steps without executing anything.
+func (m *Machine) ChargeTime(t int64) {
+	if m.suspend == 0 {
+		m.steps += t
+	}
+}
+
+// ChargeWork adds w units of work without executing anything.
+func (m *Machine) ChargeWork(w int64) {
+	if m.suspend == 0 {
+		m.work += w
+	}
+}
+
+// Contract runs f with per-loop accounting suspended and then charges exactly
+// (time, work).  It is used by primitives whose published PRAM contracts
+// differ from the depth of their portable implementation here (for example
+// approximate compaction: O(log* n) time, O(n) work, Lemma 4.2).
+func (m *Machine) Contract(time, work int64, f func()) {
+	if m.suspend == 0 {
+		m.steps += time
+		m.work += work
+	}
+	m.suspend++
+	f()
+	m.suspend--
+}
+
+// For executes body(i) for every i in [0, n) as one synchronous PRAM step,
+// charging one time step and n work.  Bodies run concurrently; any cell that
+// can be written by more than one i in the same step must be accessed via
+// the atomic helpers (Store32, WinWrite32, Max64, ...).
+func (m *Machine) For(n int, body func(i int)) {
+	if m.suspend == 0 {
+		m.steps++
+		m.work += int64(n)
+	}
+	m.run(n, body)
+}
+
+// ForWork is like For but charges the given per-step work instead of n.  It
+// is used when only part of the items are active processors (the inactive
+// bodies return immediately) and the paper charges only the active ones.
+func (m *Machine) ForWork(n int, work int64, body func(i int)) {
+	if m.suspend == 0 {
+		m.steps++
+		m.work += work
+	}
+	m.run(n, body)
+}
+
+func (m *Machine) run(n int, body func(i int)) {
+	if n <= 0 {
+		return
+	}
+	if m.seq || m.workers == 1 || n < m.grain {
+		m.runSeq(n, body)
+		return
+	}
+	chunk := (n + m.workers - 1) / m.workers
+	if chunk < 1 {
+		chunk = 1
+	}
+	for w := 0; w < m.workers; w++ {
+		lo := w * chunk
+		if lo >= n {
+			break
+		}
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		m.wg.Add(1)
+		go func(lo, hi int) {
+			defer m.wg.Done()
+			for i := lo; i < hi; i++ {
+				body(i)
+			}
+		}(lo, hi)
+	}
+	m.wg.Wait()
+}
+
+func (m *Machine) runSeq(n int, body func(i int)) {
+	switch m.order {
+	case Forward:
+		for i := 0; i < n; i++ {
+			body(i)
+		}
+	case Reverse:
+		for i := n - 1; i >= 0; i-- {
+			body(i)
+		}
+	case Shuffled:
+		// A seeded Feistel-free permutation: iterate a full-period LCG over
+		// the next power of two and skip out-of-range values.
+		size := 1
+		for size < n {
+			size <<= 1
+		}
+		mask := uint64(size - 1)
+		x := SplitMix64(m.seed^uint64(m.steps)) & mask
+		for k := 0; k < size; k++ {
+			// x' = 5x+odd mod 2^b is a full-period LCG for any odd increment.
+			x = (x*5 + (SplitMix64(m.seed)|1)&mask) & mask
+			if x < uint64(n) {
+				body(int(x))
+			}
+		}
+	}
+}
+
+// Rand returns a deterministic pseudo-random word for item i of the current
+// step.  Distinct (seed, step, i) triples give independent-looking streams,
+// which is what the paper's per-processor coin flips require.
+func (m *Machine) Rand(step int64, i int) uint64 {
+	return SplitMix64(m.seed ^ uint64(step)*0x9e3779b97f4a7c15 ^ uint64(i)*0xbf58476d1ce4e5b9)
+}
+
+// Coin reports a Bernoulli(p) draw for item i of step s, with p given as a
+// 64-bit fixed-point probability (see P64).
+func (m *Machine) Coin(step int64, i int, p uint64) bool {
+	return m.Rand(step, i) < p
+}
+
+// P64 converts a probability in [0,1] to the fixed-point form used by Coin.
+func P64(p float64) uint64 {
+	if p <= 0 {
+		return 0
+	}
+	if p >= 1 {
+		return ^uint64(0)
+	}
+	return uint64(p * float64(1<<63) * 2)
+}
+
+// SplitMix64 is the SplitMix64 mixing function; it is the package's universal
+// source of deterministic pseudo-randomness.
+func SplitMix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	z := x
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Store32 atomically stores v into a[i].  Under concurrent stores an
+// arbitrary writer wins, matching the ARBITRARY CRCW write rule.
+func Store32(a []int32, i int, v int32) { atomic.StoreInt32(&a[i], v) }
+
+// Load32 atomically loads a[i].
+func Load32(a []int32, i int) int32 { return atomic.LoadInt32(&a[i]) }
+
+// Store64 atomically stores v into a[i].
+func Store64(a []int64, i int, v int64) { atomic.StoreInt64(&a[i], v) }
+
+// Load64 atomically loads a[i].
+func Load64(a []int64, i int) int64 { return atomic.LoadInt64(&a[i]) }
+
+// Max64 atomically raises a[i] to v if v is larger.  It implements the
+// argmax-by-concurrent-write trick (proof of Lemma 5.8) with a single
+// hardware primitive of the same O(1) cost.
+func Max64(a []int64, i int, v int64) {
+	for {
+		cur := atomic.LoadInt64(&a[i])
+		if v <= cur {
+			return
+		}
+		if atomic.CompareAndSwapInt64(&a[i], cur, v) {
+			return
+		}
+	}
+}
+
+// Min64 atomically lowers a[i] to v if v is smaller.
+func Min64(a []int64, i int, v int64) {
+	for {
+		cur := atomic.LoadInt64(&a[i])
+		if v >= cur {
+			return
+		}
+		if atomic.CompareAndSwapInt64(&a[i], cur, v) {
+			return
+		}
+	}
+}
+
+// Add64 atomically adds d to a[i] and returns the new value.
+func Add64(a []int64, i int, d int64) int64 { return atomic.AddInt64(&a[i], d) }
+
+// CAS32 performs a compare-and-swap on a[i].
+func CAS32(a []int32, i int, old, new int32) bool {
+	return atomic.CompareAndSwapInt32(&a[i], old, new)
+}
+
+// Add32 atomically adds d to a[i] and returns the new value.
+func Add32(a []int32, i int, d int32) int32 { return atomic.AddInt32(&a[i], d) }
+
+// SetFlag atomically sets a[i] to 1.
+func SetFlag(a []int32, i int) { atomic.StoreInt32(&a[i], 1) }
+
+// Flag reports whether a[i] is nonzero.
+func Flag(a []int32, i int) bool { return atomic.LoadInt32(&a[i]) != 0 }
+
+// Fill32 sets every element of a to v as one charged step of len(a) work.
+func (m *Machine) Fill32(a []int32, v int32) {
+	m.For(len(a), func(i int) { a[i] = v })
+}
+
+// Iota32 fills a with 0,1,2,... as one charged step.
+func (m *Machine) Iota32(a []int32) {
+	m.For(len(a), func(i int) { a[i] = int32(i) })
+}

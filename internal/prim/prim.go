@@ -1,0 +1,239 @@
+// Package prim provides the classical PRAM building blocks the paper relies
+// on, each with the (time, work) contract of its citation charged on the
+// simulator:
+//
+//   - approximate compaction [Goo91], Definition 4.1 / Lemma 4.2:
+//     O(log* n) time, O(n) work;
+//   - padded sort [HR92], Lemma 7.9: O(log log m) time, O(m) work;
+//   - PRAM perfect hashing [GMV91] used for removing parallel edges and
+//     loops: O(log* n) time, O(m) work;
+//   - prefix sums and binary-tree occupancy counting.
+//
+// The implementations are functionally exact (our compaction is one-to-one
+// into ≤ 2k cells, the sort is a real sort, the dedup is a real dedup); the
+// published contracts are charged through Machine.Contract so measured time
+// and work match what the paper charges.
+package prim
+
+import (
+	"sort"
+
+	"parcc/internal/pram"
+)
+
+// LogStar returns the iterated logarithm of n (number of times log2 must be
+// applied before the value drops to at most 1).
+func LogStar(n int) int64 {
+	s := int64(0)
+	for n > 1 {
+		n = bits(n)
+		s++
+	}
+	return s
+}
+
+func bits(n int) int {
+	b := 0
+	for n > 1 {
+		n >>= 1
+		b++
+	}
+	return b
+}
+
+// Log2Ceil returns ceil(log2(n)) for n >= 1.
+func Log2Ceil(n int) int64 {
+	if n <= 1 {
+		return 0
+	}
+	b := int64(0)
+	v := 1
+	for v < n {
+		v <<= 1
+		b++
+	}
+	return b
+}
+
+// LogLog returns max(1, ceil(log2(log2(n)))), the ubiquitous round count.
+func LogLog(n int) int64 {
+	l := Log2Ceil(n)
+	if l <= 1 {
+		return 1
+	}
+	ll := Log2Ceil(int(l))
+	if ll < 1 {
+		ll = 1
+	}
+	return ll
+}
+
+// LogLogLog returns max(1, ceil(log2 log2 log2 n)).
+func LogLogLog(n int) int64 {
+	ll := LogLog(n)
+	lll := Log2Ceil(int(ll))
+	if lll < 1 {
+		lll = 1
+	}
+	return lll
+}
+
+// PrefixSum computes the exclusive prefix sum of a and the total.  Charged as
+// a work-efficient parallel scan: O(log n) time, O(n) work.
+func PrefixSum(m *pram.Machine, a []int32) (out []int32, total int64) {
+	n := len(a)
+	out = make([]int32, n)
+	m.Contract(Log2Ceil(n)+1, int64(n), func() {
+		var s int64
+		for i := 0; i < n; i++ {
+			out[i] = int32(s)
+			s += int64(a[i])
+		}
+		total = s
+	})
+	return out, total
+}
+
+// CompactIndices returns the indices i in [0,n) for which keep(i) is true,
+// in increasing order.  It fulfils the approximate-compaction contract of
+// Lemma 4.2 (in fact exactly: the k distinguished items land one-to-one in a
+// length-k array): charged O(log* n) time and O(n) work.
+func CompactIndices(m *pram.Machine, n int, keep func(i int) bool) []int32 {
+	var out []int32
+	m.Contract(LogStar(n)+1, int64(n), func() {
+		out = compactSeq(m, n, keep)
+	})
+	return out
+}
+
+func compactSeq(m *pram.Machine, n int, keep func(i int) bool) []int32 {
+	w := m.WorkersHint()
+	if w <= 1 || n < 1<<14 {
+		out := make([]int32, 0, 16)
+		for i := 0; i < n; i++ {
+			if keep(i) {
+				out = append(out, int32(i))
+			}
+		}
+		return out
+	}
+	// Chunked two-pass compaction for wall-clock parallelism (uncharged;
+	// the contract above already charged the paper cost).
+	parts := make([][]int32, w)
+	chunk := (n + w - 1) / w
+	done := make(chan int, w)
+	for p := 0; p < w; p++ {
+		go func(p int) {
+			lo, hi := p*chunk, (p+1)*chunk
+			if hi > n {
+				hi = n
+			}
+			var loc []int32
+			for i := lo; i < hi; i++ {
+				if keep(i) {
+					loc = append(loc, int32(i))
+				}
+			}
+			parts[p] = loc
+			done <- p
+		}(p)
+	}
+	for p := 0; p < w; p++ {
+		<-done
+	}
+	total := 0
+	for _, p := range parts {
+		total += len(p)
+	}
+	out := make([]int32, 0, total)
+	for _, p := range parts {
+		out = append(out, p...)
+	}
+	return out
+}
+
+// CountOccupied counts the nonzero entries of table using the binary-tree
+// technique of Lemma 5.1: O(log s) time, O(s) work for a size-s table.
+func CountOccupied(m *pram.Machine, table []int32) int {
+	var c int
+	m.Contract(Log2Ceil(len(table))+1, int64(len(table)), func() {
+		for _, v := range table {
+			if v != 0 {
+				c++
+			}
+		}
+	})
+	return c
+}
+
+// Hash is a seeded universal-style hash into [0, size).
+type Hash struct {
+	seed uint64
+	size uint64
+}
+
+// NewHash returns a hash function onto [0,size).
+func NewHash(seed uint64, size int) Hash {
+	if size < 1 {
+		size = 1
+	}
+	return Hash{seed: seed, size: uint64(size)}
+}
+
+// Apply hashes x into [0,size).
+func (h Hash) Apply(x int32) int {
+	return int(pram.SplitMix64(h.seed^uint64(uint32(x))) % h.size)
+}
+
+// Apply2 hashes an ordered pair into [0,size).
+func (h Hash) Apply2(x, y int32) int {
+	v := uint64(uint32(x))<<32 | uint64(uint32(y))
+	return int(pram.SplitMix64(h.seed^v) % h.size)
+}
+
+// SortInt64 sorts keys ascending.  Charged with the padded-sort contract of
+// Lemma 7.9: O(log log n) time, O(n) work.
+func SortInt64(m *pram.Machine, keys []int64) {
+	m.Contract(LogLog(len(keys))+1, int64(len(keys)), func() {
+		sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	})
+}
+
+// DedupPairs removes duplicate (u,v) pairs (and, when dropLoops is set, pairs
+// with u == v) from packed edge keys, returning the distinct keys.  Charged
+// with the PRAM perfect-hashing contract of [GMV91]: O(log* n) time, O(n)
+// work.
+func DedupPairs(m *pram.Machine, keys []int64, dropLoops bool) []int64 {
+	var out []int64
+	m.Contract(LogStar(len(keys))+1, int64(len(keys)), func() {
+		seen := make(map[int64]struct{}, len(keys))
+		out = keys[:0]
+		for _, k := range keys {
+			if dropLoops {
+				if int32(k>>32) == int32(k) {
+					continue
+				}
+			}
+			if _, ok := seen[k]; ok {
+				continue
+			}
+			seen[k] = struct{}{}
+			out = append(out, k)
+		}
+	})
+	return out
+}
+
+// PackEdge packs an undirected edge into a canonical 64-bit key with the
+// smaller endpoint in the high word.
+func PackEdge(u, v int32) int64 {
+	if u > v {
+		u, v = v, u
+	}
+	return int64(u)<<32 | int64(uint32(v))
+}
+
+// UnpackEdge inverts PackEdge.
+func UnpackEdge(k int64) (u, v int32) {
+	return int32(k >> 32), int32(uint32(k))
+}

@@ -1,0 +1,139 @@
+package spectral
+
+import (
+	"math"
+
+	"parcc/internal/graph"
+	"parcc/internal/pram"
+)
+
+// MixingEstimate bounds the lazy-random-walk mixing behaviour of a
+// connected graph empirically: it runs the lazy walk distribution from a
+// worst-ish start (a vertex found by a double sweep) and reports the number
+// of steps until the L2 distance to stationarity drops below eps.  Spectral
+// theory ties this to the gap: t_mix = Θ(log(n/eps)/λ), so the estimate is
+// a cheap independent cross-check of the eigensolver (used by tests) and of
+// the d ≤ O(log n/λ) diameter bound the paper leans on in Stage 3.
+func MixingEstimate(g *graph.Graph, eps float64, maxSteps int) int {
+	if g.N == 0 {
+		return 0
+	}
+	if eps <= 0 {
+		eps = 1e-3
+	}
+	if maxSteps <= 0 {
+		maxSteps = 64 * g.N
+	}
+	csr := graph.BuildCSR(g)
+	deg := g.Degrees()
+	var vol float64
+	for _, d := range deg {
+		vol += float64(d)
+	}
+	if vol == 0 {
+		return 0
+	}
+	// stationary distribution π(v) = deg(v)/vol
+	pi := make([]float64, g.N)
+	for v := range pi {
+		pi[v] = float64(deg[v]) / vol
+	}
+	// start at the far end of a double sweep (an eccentric vertex)
+	dist := make([]int32, g.N)
+	far, _ := eccentricity(csr, g.N, 0, dist)
+	far2, _ := eccentricity(csr, g.N, far, dist)
+
+	p := make([]float64, g.N)
+	q := make([]float64, g.N)
+	p[far2] = 1
+	for step := 1; step <= maxSteps; step++ {
+		for i := range q {
+			q[i] = 0
+		}
+		for v := 0; v < g.N; v++ {
+			if p[v] == 0 {
+				continue
+			}
+			q[v] += p[v] / 2 // lazy self-loop half
+			dv := float64(csr.Deg(int32(v)))
+			if dv == 0 {
+				q[v] += p[v] / 2
+				continue
+			}
+			share := p[v] / 2 / dv
+			for _, w := range csr.Neighbors(int32(v)) {
+				q[w] += share
+			}
+		}
+		p, q = q, p
+		var l2 float64
+		for v := range p {
+			d := p[v] - pi[v]
+			l2 += d * d
+		}
+		if math.Sqrt(l2) < eps {
+			return step
+		}
+	}
+	return maxSteps
+}
+
+// GapFromMixing inverts the mixing-time relation to a rough gap estimate:
+// λ ≈ ln(n/eps)/t_mix.  Useful as an order-of-magnitude cross-check.
+func GapFromMixing(g *graph.Graph, eps float64, maxSteps int) float64 {
+	t := MixingEstimate(g, eps, maxSteps)
+	if t <= 0 {
+		return math.NaN()
+	}
+	return math.Log(float64(g.N)/eps) / float64(t)
+}
+
+// WalkDeviation runs k independent lazy random walks of the given length
+// from seed vertices and returns the maximum observed visit-frequency
+// deviation from stationarity.  It is a randomized tester used by the
+// Appendix-C experiments to confirm that sampled expanders still mix.
+func WalkDeviation(g *graph.Graph, walks, length int, seed uint64) float64 {
+	if g.N == 0 || walks <= 0 || length <= 0 {
+		return 0
+	}
+	csr := graph.BuildCSR(g)
+	deg := g.Degrees()
+	var vol float64
+	for _, d := range deg {
+		vol += float64(d)
+	}
+	if vol == 0 {
+		return 0
+	}
+	visits := make([]int64, g.N)
+	var total int64
+	rng := seed
+	next := func(bound int) int {
+		rng = pram.SplitMix64(rng)
+		return int(rng % uint64(bound))
+	}
+	for w := 0; w < walks; w++ {
+		v := int32(next(g.N))
+		for s := 0; s < length; s++ {
+			if next(2) == 0 { // lazy half-step
+				d := csr.Deg(v)
+				if d > 0 {
+					v = csr.Neighbors(v)[next(d)]
+				}
+			}
+			if s >= length/2 { // burn-in half
+				visits[v]++
+				total++
+			}
+		}
+	}
+	var worst float64
+	for v := 0; v < g.N; v++ {
+		want := float64(deg[v]) / vol
+		got := float64(visits[v]) / float64(total)
+		if d := math.Abs(got - want); d > worst {
+			worst = d
+		}
+	}
+	return worst
+}

@@ -1,0 +1,91 @@
+package spectral
+
+import (
+	"math"
+	"testing"
+
+	"parcc/internal/graph"
+	"parcc/internal/graph/gen"
+)
+
+func TestMixingFasterOnExpanders(t *testing.T) {
+	exp := gen.RandomRegular(256, 8, 3)
+	cyc := gen.Cycle(256)
+	te := MixingEstimate(exp, 1e-3, 1<<16)
+	tc := MixingEstimate(cyc, 1e-3, 1<<16)
+	if te >= tc {
+		t.Errorf("expander mixing %d should beat cycle %d", te, tc)
+	}
+}
+
+func TestMixingMatchesGapOrder(t *testing.T) {
+	// t_mix ≈ ln(n/eps)/λ within an order of magnitude.
+	g := gen.Hypercube(7) // λ = 2/7
+	lam := Gap(g, nil)
+	tm := MixingEstimate(g, 1e-3, 1<<16)
+	pred := math.Log(float64(g.N)/1e-3) / lam
+	if float64(tm) > 10*pred || float64(tm) < pred/10 {
+		t.Errorf("mixing %d vs spectral prediction %.0f", tm, pred)
+	}
+}
+
+func TestGapFromMixingOrderOfMagnitude(t *testing.T) {
+	g := gen.RandomRegular(128, 8, 5)
+	est := GapFromMixing(g, 1e-3, 1<<16)
+	lam := Gap(g, nil)
+	if est < lam/20 || est > lam*20 {
+		t.Errorf("gap-from-mixing %f vs eigensolver %f", est, lam)
+	}
+}
+
+func TestMixingDegenerateInputs(t *testing.T) {
+	if MixingEstimate(graph.New(0), 1e-3, 10) != 0 {
+		t.Error("empty graph should mix instantly")
+	}
+	if MixingEstimate(graph.New(3), 1e-3, 10) != 0 {
+		t.Error("edgeless graph has no stationary walk; expect 0")
+	}
+	// default parameters kick in for non-positive eps/maxSteps
+	g := gen.Complete(4)
+	if MixingEstimate(g, 0, 0) <= 0 {
+		t.Error("defaults should produce a positive estimate")
+	}
+}
+
+func TestMixingCompleteGraphFast(t *testing.T) {
+	g := gen.Complete(32)
+	if tm := MixingEstimate(g, 1e-3, 1000); tm > 40 {
+		t.Errorf("complete graph mixing %d too slow", tm)
+	}
+}
+
+func TestWalkDeviationSmallOnExpander(t *testing.T) {
+	g := gen.RandomRegular(128, 8, 7)
+	dev := WalkDeviation(g, 64, 4096, 11)
+	if dev > 0.05 {
+		t.Errorf("visit deviation %f too large for an expander", dev)
+	}
+}
+
+func TestWalkDeviationDegenerate(t *testing.T) {
+	if WalkDeviation(graph.New(0), 4, 4, 1) != 0 {
+		t.Error("empty graph deviation should be 0")
+	}
+	if WalkDeviation(graph.New(5), 4, 4, 1) != 0 {
+		t.Error("edgeless graph deviation should be 0")
+	}
+	if WalkDeviation(gen.Cycle(8), 0, 0, 1) != 0 {
+		t.Error("no walks should give 0")
+	}
+}
+
+func TestWalkDeviationSampledExpanderStillMixes(t *testing.T) {
+	// Appendix-C flavor: a sampled dense expander still behaves like an
+	// expander under random walks.
+	g := gen.RandomRegular(128, 32, 9)
+	s := gen.SampleEdges(g, 0.5, 5)
+	dev := WalkDeviation(s, 64, 4096, 13)
+	if dev > 0.05 {
+		t.Errorf("sampled expander deviation %f", dev)
+	}
+}

@@ -1,0 +1,465 @@
+// Package stage1 implements §4 of the paper: contracting the graph to
+// n/poly(log n) vertices in O(log log n) time and linear work.
+//
+//   - MATCHING(E): the constant-shrink algorithm (§4.1, Lemma 4.3/4.4) —
+//     finds a large matching among roots and contracts it, reducing the
+//     number of roots by a constant factor w.h.p. in O(1) time;
+//   - FILTER(E,k): k rounds of MATCHING + ALTER + random edge deletion,
+//     followed by the reverse-order pointer unwinding (§4.2);
+//   - EXTRACT(E,k): the log log n-shrink algorithm (§4.2);
+//   - REDUCE(V,E,k): the poly(log n)-shrink algorithm (§4.3).
+//
+// MATCHING is O(1) time and O(|E|) work per call.  To honor the work bound,
+// the per-vertex scratch cells it needs are stamped (a value is valid only
+// if its stamp matches the current call), so no O(n) clearing ever happens;
+// this mirrors the paper's per-edge processors writing into indexed cells.
+// Every parent update is recorded per round so the unwinding steps of
+// FILTER and EXTRACT execute exactly as written ("if a vertex v updated
+// v.p in round j then v.p = v.p.p").
+package stage1
+
+import (
+	"parcc/internal/graph"
+	"parcc/internal/labeled"
+	"parcc/internal/pram"
+	"parcc/internal/prim"
+)
+
+// Params carries the Stage-1 round counts and probabilities.  Paper values
+// in comments; DefaultParams returns the practical profile.
+type Params struct {
+	// DeleteP64 is the per-round FILTER edge deletion probability
+	// (paper: 10^-4; Step 1 of FILTER).
+	DeleteP64 uint64
+	// FilterK is k in FILTER(E,k) inside EXTRACT
+	// (paper: Θ(log log log n)).
+	FilterK int
+	// ExtractK is k in EXTRACT(E,k) (paper: 1000·log log log n).
+	ExtractK int
+	// ReduceK is k in REDUCE(V,E,k) (paper: 10^6·log log n).
+	ReduceK int
+	// Seed drives MATCHING's coin flips and FILTER's deletions.
+	Seed uint64
+}
+
+// DefaultParams returns practical Stage-1 parameters for an n-vertex graph:
+// the paper's Θ(·) round counts with constant 1 instead of 10^6.
+func DefaultParams(n int) Params {
+	return Params{
+		DeleteP64: pram.P64(1e-4),
+		FilterK:   int(prim.LogLogLog(n + 4)),
+		ExtractK:  int(prim.LogLogLog(n + 4)),
+		ReduceK:   int(prim.LogLog(n + 4)),
+		Seed:      0x5eed57a6e1,
+	}
+}
+
+// Runner executes Stage-1 subroutines against a shared machine and forest.
+type Runner struct {
+	M   *pram.Machine
+	F   *labeled.Forest
+	Prm Params
+
+	stamp int64
+	calls int64
+	// stamped per-vertex scratch; valid only when the stored stamp matches.
+	out, hadArc, hasArc, cand, in, multiIn, deleted, slot, marked []int64
+}
+
+// NewRunner allocates scratch for the forest's vertex count.
+func NewRunner(m *pram.Machine, f *labeled.Forest, prm Params) *Runner {
+	n := f.Len()
+	mk := func() []int64 { return make([]int64, n) }
+	return &Runner{
+		M: m, F: f, Prm: prm,
+		out: mk(), hadArc: mk(), hasArc: mk(), cand: mk(),
+		in: mk(), multiIn: mk(), deleted: mk(), slot: mk(), marked: mk(),
+	}
+}
+
+func (r *Runner) set(a []int64, i int32, v int32) {
+	pram.Store64(a, int(i), r.stamp<<32|int64(uint32(v)))
+}
+
+func (r *Runner) get(a []int64, i int32) int32 {
+	x := pram.Load64(a, int(i))
+	if x>>32 != r.stamp {
+		return 0
+	}
+	return int32(uint32(x))
+}
+
+// Matching runs MATCHING(E) (§4.1) on a copy of E (pass-by-value) and
+// returns the vertices whose parent it updated, for the caller's round log.
+// One call is O(1) time and O(|E|) work.
+func (r *Runner) Matching(E []graph.Edge) (updated []int32) {
+	m, p := r.M, r.F.P
+	r.calls++
+	r.stamp = 2 * r.calls // two stamp epochs per call; Step 6 bumps to the odd one
+	seed := r.Prm.Seed ^ uint64(r.calls)*0x9e3779b97f4a7c15
+
+	// Step 1: keep only non-loop edges between two roots.
+	D := make([]graph.Edge, 0, len(E))
+	m.Contract(1, int64(len(E)), func() {
+		for _, e := range E {
+			if e.U != e.V && p[e.U] == e.U && p[e.V] == e.V {
+				D = append(D, e)
+			}
+		}
+	})
+
+	// Step 2: orient from the large end to the small end: arc (u,v), u > v.
+	m.For(len(D), func(i int) {
+		if D[i].U < D[i].V {
+			D[i].U, D[i].V = D[i].V, D[i].U
+		}
+	})
+
+	// Step 3: each tail keeps one arbitrary outgoing arc.
+	live := make([]int32, len(D))
+	m.For(len(D), func(i int) {
+		r.set(r.out, D[i].U, int32(i)+1)
+	})
+	m.For(len(D), func(i int) {
+		if r.get(r.out, D[i].U) == int32(i)+1 {
+			live[i] = 1
+		}
+	})
+
+	// Step 4: a singleton is a vertex that had an arc before Step 3 and has
+	// none after; it adopts the tail of an arbitrary incoming pre-Step-3 arc.
+	m.For(len(D), func(i int) {
+		r.set(r.hadArc, D[i].U, 1)
+		r.set(r.hadArc, D[i].V, 1)
+	})
+	m.For(len(D), func(i int) {
+		if live[i] == 1 {
+			r.set(r.hasArc, D[i].U, 1)
+			r.set(r.hasArc, D[i].V, 1)
+		}
+	})
+	m.For(len(D), func(i int) {
+		v := D[i].V
+		if r.get(r.hadArc, v) != 0 && r.get(r.hasArc, v) == 0 {
+			r.set(r.cand, v, D[i].U+1)
+		}
+	})
+	m.For(len(D), func(i int) {
+		v := D[i].V
+		c := r.get(r.cand, v)
+		if c != 0 && pram.Load32(p, int(v)) == v {
+			pram.Store32(p, int(v), c-1)
+		}
+	})
+	m.Contract(1, int64(len(D)), func() {
+		for _, e := range D {
+			v := e.V
+			if c := r.get(r.cand, v); c != 0 && p[v] == c-1 {
+				updated = append(updated, v)
+				r.set(r.cand, v, 0)
+			}
+		}
+	})
+
+	// Step 5: a root with >1 incoming arcs drops all its outgoing arcs.
+	countIncoming := func() {
+		m.For(len(D), func(i int) {
+			if live[i] == 1 {
+				r.set(r.in, D[i].V, int32(i)+1)
+			}
+		})
+		m.For(len(D), func(i int) {
+			if live[i] == 1 && r.get(r.in, D[i].V) != int32(i)+1 {
+				r.set(r.multiIn, D[i].V, 1)
+			}
+		})
+	}
+	countIncoming()
+	m.For(len(D), func(i int) {
+		if live[i] == 1 && r.get(r.multiIn, D[i].U) != 0 {
+			live[i] = 0
+		}
+	})
+
+	// Step 6: heads with >1 incoming arcs adopt all their arc tails.  The
+	// incoming counts are recomputed on the surviving arcs (fresh stamp
+	// region: reuse the same cells under a bumped stamp).
+	r.stamp = 2*r.calls + 1 // second stamp epoch for this call
+	countIncoming()
+	m.For(len(D), func(i int) {
+		if live[i] == 1 && r.get(r.multiIn, D[i].V) != 0 {
+			u := D[i].U
+			pram.Store32(p, int(u), D[i].V)
+			r.set(r.deleted, u, 1)
+		}
+	})
+	m.Contract(1, int64(len(D)), func() {
+		for _, e := range D {
+			if r.get(r.deleted, e.U) == 1 && p[e.U] == e.V {
+				updated = append(updated, e.U)
+				r.set(r.deleted, e.U, 2)
+			}
+		}
+	})
+	m.For(len(D), func(i int) {
+		if live[i] == 1 && (r.get(r.deleted, D[i].U) != 0 || r.get(r.deleted, D[i].V) != 0) {
+			live[i] = 0
+		}
+	})
+
+	// Step 7: delete each remaining arc with probability 1/2.
+	m.For(len(D), func(i int) {
+		if live[i] == 1 && pram.SplitMix64(seed^uint64(i))&1 == 1 {
+			live[i] = 0
+		}
+	})
+
+	// Step 8: isolated arcs contract head onto tail.  Three sub-steps:
+	// write ends, mark shared, update unmarked (proof of Lemma 4.3).
+	m.For(len(D), func(i int) {
+		if live[i] == 1 {
+			r.set(r.slot, D[i].U, int32(i)+1)
+			r.set(r.slot, D[i].V, int32(i)+1)
+		}
+	})
+	m.For(len(D), func(i int) {
+		if live[i] != 1 {
+			return
+		}
+		id := int32(i) + 1
+		if r.get(r.slot, D[i].U) != id || r.get(r.slot, D[i].V) != id {
+			r.set(r.marked, D[i].U, 1)
+			r.set(r.marked, D[i].V, 1)
+		}
+	})
+	m.For(len(D), func(i int) {
+		if live[i] != 1 {
+			return
+		}
+		u, v := D[i].U, D[i].V
+		if r.get(r.marked, u) == 0 && r.get(r.marked, v) == 0 {
+			pram.Store32(p, int(v), u)
+		}
+	})
+	m.Contract(1, int64(len(D)), func() {
+		for i := range D {
+			if live[i] == 1 && r.get(r.marked, D[i].U) == 0 && r.get(r.marked, D[i].V) == 0 && p[D[i].V] == D[i].U {
+				updated = append(updated, D[i].V)
+			}
+		}
+	})
+
+	// Step 9: pointer-jump the ends of the original edge set.
+	m.For(len(E), func(i int) {
+		for _, v := range []int32{E[i].U, E[i].V} {
+			pv := pram.Load32(p, int(v))
+			pram.Store32(p, int(v), pram.Load32(p, int(pv)))
+		}
+	})
+	return updated
+}
+
+// Filter runs FILTER(E,k) (§4.2): k+1 rounds of MATCHING/ALTER/deletion on a
+// copy of E, then the reverse-order unwinding.  It returns V(E) — vertices
+// still adjacent to a surviving edge — and the union of vertices whose
+// parents were updated (needed by EXTRACT's own unwinding).
+func (r *Runner) Filter(E []graph.Edge, k int, seed uint64) (VE []int32, updatedUnion []int32) {
+	m := r.M
+	cur := append([]graph.Edge(nil), E...)
+	rounds := make([][]int32, 0, k+1)
+	for j := 0; j <= k; j++ {
+		upd := r.Matching(cur)
+		rounds = append(rounds, upd)
+		cur = labeled.Alter(m, r.F, cur)
+		cur = deleteEdges(m, cur, r.Prm.DeleteP64, seed^0xf117e4^uint64(j)<<17)
+	}
+	r.unwind(rounds)
+	for _, u := range rounds {
+		updatedUnion = append(updatedUnion, u...)
+	}
+	return vertexSet(m, r.F.Len(), cur), updatedUnion
+}
+
+// unwind performs "for iteration j from k to 0: if v updated v.p in round j
+// then v.p = v.p.p".
+func (r *Runner) unwind(rounds [][]int32) {
+	p := r.F.P
+	for j := len(rounds) - 1; j >= 0; j-- {
+		vs := rounds[j]
+		r.M.For(len(vs), func(i int) {
+			v := vs[i]
+			pv := pram.Load32(p, int(v))
+			pram.Store32(p, int(v), pram.Load32(p, int(pv)))
+		})
+	}
+}
+
+func deleteEdges(m *pram.Machine, E []graph.Edge, p64 uint64, seed uint64) []graph.Edge {
+	out := E[:0]
+	m.Contract(1, int64(len(E)), func() {
+		for i, e := range E {
+			if pram.SplitMix64(seed^uint64(i)*0x9e3779b97f4a7c15) >= p64 {
+				out = append(out, e)
+			}
+		}
+	})
+	return out
+}
+
+// vertexSet returns the distinct vertices adjacent to E (each edge notifies
+// its ends: O(1) time, O(|E|) work, plus a compaction to list them).
+func vertexSet(m *pram.Machine, n int, E []graph.Edge) []int32 {
+	var out []int32
+	m.Contract(prim.LogStar(n)+1, int64(len(E)), func() {
+		seen := make(map[int32]struct{}, len(E)*2)
+		for _, e := range E {
+			seen[e.U] = struct{}{}
+			seen[e.V] = struct{}{}
+		}
+		out = make([]int32, 0, len(seen))
+		for v := range seen {
+			out = append(out, v)
+		}
+	})
+	return out
+}
+
+// Extract runs EXTRACT(E,k) (§4.2): repeated FILTER rounds that peel off the
+// high-degree part, then unwinding and REVERSE.  E is altered in place
+// (pass-by-reference); the surviving edge set is returned.
+func (r *Runner) Extract(E []graph.Edge, k int) []graph.Edge {
+	m := r.M
+	n := r.F.Len()
+	inVp := make([]int32, n) // membership flags for V' (single allocation)
+	var Vp []int32
+	// Step 1: E' = non-loops of E.
+	Ep := make([]graph.Edge, 0, len(E))
+	m.Contract(1, int64(len(E)), func() {
+		for _, e := range E {
+			if e.U != e.V {
+				Ep = append(Ep, e)
+			}
+		}
+	})
+	rounds := make([][]int32, 0, k+1)
+	for i := 0; i <= k; i++ {
+		Vi, upd := r.Filter(Ep, r.Prm.FilterK, r.Prm.Seed^uint64(i)*0x51ab)
+		rounds = append(rounds, upd)
+		m.For(len(Vi), func(j int) {
+			pram.SetFlag(inVp, int(Vi[j]))
+		})
+		Vp = append(Vp, Vi...)
+		Ep = labeled.Alter(m, r.F, Ep)
+		Ep = removeBothIn(m, Ep, inVp)
+	}
+	r.unwind(rounds)
+	Reverse(m, r.F, dedupVerts(Vp), E)
+	return labeled.Alter(m, r.F, E)
+}
+
+func removeBothIn(m *pram.Machine, E []graph.Edge, in []int32) []graph.Edge {
+	out := E[:0]
+	m.Contract(1, int64(len(E)), func() {
+		for _, e := range E {
+			if in[e.U] != 0 && in[e.V] != 0 {
+				continue
+			}
+			out = append(out, e)
+		}
+	})
+	return out
+}
+
+func dedupVerts(vs []int32) []int32 {
+	seen := make(map[int32]struct{}, len(vs))
+	out := vs[:0]
+	for _, v := range vs {
+		if _, ok := seen[v]; ok {
+			continue
+		}
+		seen[v] = struct{}{}
+		out = append(out, v)
+	}
+	return out
+}
+
+// Reverse runs REVERSE(V',E) (§4.2): within each flat tree containing a
+// vertex of V', promote an arbitrary V'-child to be the root, then shortcut
+// and ALTER.  Precondition (as at its call sites): trees are flat.
+func Reverse(m *pram.Machine, f *labeled.Forest, Vp []int32, E []graph.Edge) {
+	p := f.P
+	// Step 1a: each non-root v ∈ V' competes to become its root's parent.
+	m.For(len(Vp), func(i int) {
+		v := Vp[i]
+		pv := pram.Load32(p, int(v))
+		if pv != v {
+			pram.Store32(p, int(pv), v)
+		}
+	})
+	// Step 1b: v.p = v.p.p for the same vertices (the winner becomes a root).
+	m.For(len(Vp), func(i int) {
+		v := Vp[i]
+		pv := pram.Load32(p, int(v))
+		pram.Store32(p, int(v), pram.Load32(p, int(pv)))
+	})
+	// Step 2: global shortcut.
+	labeled.ShortcutAll(m, f)
+	// Step 3: ALTER(E) — in place; loop removal is the caller's choice.
+	labeled.AlterKeep(m, f, E)
+}
+
+// Result reports what REDUCE produced: the contracted current graph.
+type Result struct {
+	Edges []graph.Edge // altered edge set of the current graph (no loops)
+	Roots []int32      // all roots of the labeled digraph
+}
+
+// Reduce runs REDUCE(V,E,k) (§4.3) on the whole graph: EXTRACT, a FILTER
+// pass, matching rounds on the low-degree remainder, and a final REVERSE.
+// It contracts the current graph to n/poly(log n) vertices (Lemma 4.25)
+// w.h.p. in O(log log n) time and O(m)+O(n) expected work.
+func (r *Runner) Reduce(g *graph.Graph) Result {
+	m, f := r.M, r.F
+	n := f.Len()
+	E := append([]graph.Edge(nil), g.Edges...)
+
+	// Step 1: EXTRACT(E, Θ(log log log n)).
+	E = r.Extract(E, r.Prm.ExtractK)
+
+	// Step 2: V' = FILTER(E, k).
+	k := r.Prm.ReduceK
+	Vp, _ := r.Filter(E, k, r.Prm.Seed^0xabcdef)
+
+	// Step 3: shortcut everyone; ALTER(E).
+	labeled.ShortcutAll(m, f)
+	E = labeled.Alter(m, f, E)
+
+	// Step 4: E' = edges with an end outside V'.
+	inVp := make([]int32, n)
+	m.For(len(Vp), func(i int) { pram.SetFlag(inVp, int(Vp[i])) })
+	Ep := make([]graph.Edge, 0, len(E))
+	m.Contract(1, int64(len(E)), func() {
+		for _, e := range E {
+			if inVp[e.U] == 0 || inVp[e.V] == 0 {
+				Ep = append(Ep, e)
+			}
+		}
+	})
+
+	// Step 5: k rounds of MATCHING on E' with global shortcuts.
+	for i := 0; i <= k; i++ {
+		r.Matching(Ep)
+		labeled.ShortcutAll(m, f)
+		Ep = labeled.Alter(m, f, Ep)
+		if len(Ep) == 0 {
+			break
+		}
+	}
+
+	// Step 6: REVERSE(V', E).
+	Reverse(m, f, Vp, E)
+	E = labeled.Alter(m, f, E)
+
+	roots := prim.CompactIndices(m, n, func(v int) bool { return f.P[v] == int32(v) })
+	return Result{Edges: E, Roots: roots}
+}

@@ -1,0 +1,94 @@
+package stage2
+
+import (
+	"sort"
+
+	"parcc/internal/graph"
+	"parcc/internal/pram"
+	"parcc/internal/prim"
+)
+
+// Aux is the auxiliary array of §7.4.1: the edges of G′ (both orientations)
+// padded-sorted by first endpoint, with per-vertex ranges (v.l, v.s), built
+// once at the end of Stage 1 and stored for the rest of CONNECTIVITY.  The
+// doubling "awaken" procedure of Lemmas 7.13/7.16 then extracts all edges
+// whose first endpoint satisfies a predicate in O(output) work instead of
+// rescanning all of E(G′) every phase.
+type Aux struct {
+	edges []graph.Edge // sorted by U; both orientations of every edge
+	start []int64      // start[v] = v.l; -1 when v has no edges
+	count []int64      // count[v] = number of entries (v.s)
+	verts []int32      // vertices with at least one entry
+}
+
+// BuildAux runs BUILDAUXILIARY(G′) (§7.4.1): padded sort (Lemma 7.9 charge:
+// O(log log m) time, O(m) work) plus the range-delimiting passes.
+func BuildAux(m *pram.Machine, n int, E []graph.Edge) *Aux {
+	a := &Aux{
+		edges: make([]graph.Edge, 0, 2*len(E)),
+		start: make([]int64, n),
+		count: make([]int64, n),
+	}
+	for i := range a.start {
+		a.start[i] = -1
+	}
+	m.Contract(prim.LogLog(2*len(E)+4)+2, int64(2*len(E))+int64(n), func() {
+		for _, e := range E {
+			a.edges = append(a.edges, e)
+			if e.U != e.V {
+				a.edges = append(a.edges, graph.Edge{U: e.V, V: e.U})
+			}
+		}
+		sort.Slice(a.edges, func(i, j int) bool { return a.edges[i].U < a.edges[j].U })
+		for i, e := range a.edges {
+			if a.start[e.U] < 0 {
+				a.start[e.U] = int64(i)
+				a.verts = append(a.verts, e.U)
+			}
+			a.count[e.U]++
+		}
+	})
+	return a
+}
+
+// Gather returns the original-G′ edges (u,v) for which pred(u) holds, using
+// the awaken-doubling procedure: charged O(log max-degree) time and
+// O(#awakened + #checked vertices) work (Lemmas 7.13/7.16).  The returned
+// slice is freshly allocated; callers ALTER it to current parents.
+func (a *Aux) Gather(m *pram.Machine, pred func(u int32) bool) []graph.Edge {
+	var out []graph.Edge
+	var awakened int64
+	var maxDeg int64 = 1
+	m.Contract(1, int64(len(a.verts)), func() {
+		for _, u := range a.verts {
+			if !pred(u) {
+				continue
+			}
+			lo := a.start[u]
+			c := a.count[u]
+			if c > maxDeg {
+				maxDeg = c
+			}
+			awakened += c
+			out = append(out, a.edges[lo:lo+c]...)
+		}
+	})
+	m.ChargeTime(prim.Log2Ceil(int(maxDeg)) + 1)
+	m.ChargeWork(awakened)
+	return out
+}
+
+// EdgesNotIn returns the original edges of G′ (single orientation) whose
+// index is not flagged in mask — the E_remain = E(G′) \ E(H₁) set REMAIN
+// needs (§7.1).  mask[i] corresponds to the i-th edge passed to BuildAux.
+func EdgesNotIn(m *pram.Machine, E []graph.Edge, mask []bool) []graph.Edge {
+	var out []graph.Edge
+	m.Contract(1, int64(len(E)), func() {
+		for i, e := range E {
+			if !mask[i] {
+				out = append(out, e)
+			}
+		}
+	})
+	return out
+}

@@ -1,0 +1,291 @@
+package stage2
+
+import (
+	"testing"
+
+	"parcc/internal/baseline"
+	"parcc/internal/graph"
+	"parcc/internal/graph/gen"
+	"parcc/internal/labeled"
+	"parcc/internal/ltz"
+	"parcc/internal/pram"
+	"parcc/internal/stage1"
+)
+
+// reduced runs Stage 1 and returns the machinery Stage 2 starts from.
+func reduced(t *testing.T, g *graph.Graph, seed uint64) (*pram.Machine, *labeled.Forest, stage1.Result) {
+	t.Helper()
+	m := pram.New(pram.Seed(seed))
+	f := labeled.New(g.N)
+	r := stage1.NewRunner(m, f, stage1.DefaultParams(g.N))
+	return m, f, r.Reduce(g)
+}
+
+func TestBuildSkeletonIsSubset(t *testing.T) {
+	g := gen.RandomRegular(2000, 6, 3)
+	m, _, red := reduced(t, g, 1)
+	p := DefaultParams(g.N, 8)
+	H := Build(m, red.Roots, red.Edges, p)
+	// Every skeleton edge (canonicalized) must exist in the current graph.
+	have := map[int64]bool{}
+	for _, e := range red.Edges {
+		u, v := e.U, e.V
+		if u > v {
+			u, v = v, u
+		}
+		have[int64(u)<<32|int64(uint32(v))] = true
+	}
+	for _, e := range H {
+		u, v := e.U, e.V
+		if u > v {
+			u, v = v, u
+		}
+		if !have[int64(u)<<32|int64(uint32(v))] {
+			t.Fatalf("skeleton edge (%d,%d) not in current graph", e.U, e.V)
+		}
+		if e.U == e.V {
+			t.Fatal("skeleton must not contain loops")
+		}
+	}
+	// No parallel edges.
+	seen := map[int64]bool{}
+	for _, e := range H {
+		u, v := e.U, e.V
+		if u > v {
+			u, v = v, u
+		}
+		k := int64(u)<<32 | int64(uint32(v))
+		if seen[k] {
+			t.Fatal("skeleton contains a parallel edge")
+		}
+		seen[k] = true
+	}
+}
+
+func TestBuildKeepsLowDegreeEdges(t *testing.T) {
+	// Lemma 5.4 ingredient: edges adjacent to low vertices are all kept, so
+	// small components survive exactly.
+	g := gen.Union(gen.Path(12), gen.Cycle(9))
+	m := pram.New(pram.Seed(2))
+	V := make([]int32, g.N)
+	m.Iota32(V)
+	p := DefaultParams(g.N, 64) // threshold far above any degree here
+	H := Build(m, V, g.Edges, p)
+	simple := graph.Simplify(g)
+	if len(H) != simple.M() {
+		t.Fatalf("all-low graph: skeleton has %d edges, want %d", len(H), simple.M())
+	}
+}
+
+func TestBuildSamplesHighHighEdges(t *testing.T) {
+	// Lemma 5.5 shape: on a dense graph with tiny threshold, the skeleton
+	// must be much smaller than the input.
+	g := gen.Complete(200)
+	m := pram.New(pram.Seed(3))
+	V := make([]int32, g.N)
+	m.Iota32(V)
+	p := DefaultParams(g.N, 8) // every vertex is high (deg 199 > 32)
+	H := Build(m, V, g.Edges, p)
+	if len(H) >= g.M()/2 {
+		t.Fatalf("skeleton %d edges of %d — no down-sampling happened", len(H), g.M())
+	}
+	if len(H) == 0 {
+		t.Fatal("skeleton should retain some sampled edges")
+	}
+}
+
+func TestDensifyContractsSmallComponents(t *testing.T) {
+	// Small components (< b^6-ish total degree) must contract fully during
+	// DENSIFY + Theorem 2 (Lemma 5.24 direction).
+	g := gen.Union(gen.Cycle(12), gen.Path(9), gen.Complete(6))
+	truth := baseline.BFSLabels(g)
+	m := pram.New(pram.Seed(5))
+	f := labeled.New(g.N)
+	V := make([]int32, g.N)
+	m.Iota32(V)
+	p := DefaultParams(g.N, 8)
+	res := Densify(m, f, V, append([]graph.Edge(nil), g.Edges...), p)
+	if err := labeled.CheckSameComponent(f, truth); err != nil {
+		t.Fatal(err)
+	}
+	// every close edge intra-component
+	for _, e := range res.Eclose {
+		if truth[e.U] != truth[e.V] {
+			t.Fatal("close edge crosses components")
+		}
+	}
+	// all components fully contracted: labels match truth already
+	if !graph.SamePartition(truth, f.Labels()) {
+		t.Fatal("small components should be fully contracted by DENSIFY")
+	}
+}
+
+func TestIncreaseRaisesMinDegree(t *testing.T) {
+	// Lemma 5.25 shape: after INCREASE, surviving active roots have degree
+	// ≥ b in the current graph (counting altered multi-edges).
+	g := gen.RandomRegular(3000, 6, 11)
+	m, f, red := reduced(t, g, 7)
+	b := 8
+	p := DefaultParams(g.N, b)
+	E := append([]graph.Edge(nil), red.Edges...)
+	Increase(m, f, red.Roots, E, p)
+	// degree of roots in current graph: count altered edge endpoints.
+	deg := map[int32]int{}
+	for _, e := range E {
+		deg[e.U]++
+		if e.U != e.V {
+			deg[e.V]++
+		}
+	}
+	live := 0
+	for _, v := range red.Roots {
+		if f.IsRoot(v) && deg[v] > 0 {
+			// Only roots that still carry non-loop edges count as active.
+			active := false
+			for _, e := range E {
+				if (e.U == v || e.V == v) && e.U != e.V {
+					active = true
+					break
+				}
+			}
+			if !active {
+				continue
+			}
+			live++
+			if deg[v] < b {
+				t.Errorf("active root %d has degree %d < b=%d", v, deg[v], b)
+			}
+		}
+	}
+	t.Logf("active roots after INCREASE: %d (from %d)", live, len(red.Roots))
+}
+
+func TestIncreaseContractionSafety(t *testing.T) {
+	g := gen.Union(gen.RandomRegular(800, 4, 1), gen.Cycle(200), gen.GNM(500, 700, 9))
+	truth := baseline.BFSLabels(g)
+	m, f, red := reduced(t, g, 13)
+	E := append([]graph.Edge(nil), red.Edges...)
+	Increase(m, f, red.Roots, E, DefaultParams(g.N, 8))
+	if err := labeled.CheckSameComponent(f, truth); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.CheckAcyclic(); err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range E {
+		if truth[e.U] != truth[e.V] {
+			t.Fatal("altered edge crosses components")
+		}
+	}
+}
+
+func TestSparseBuildMatchesDense(t *testing.T) {
+	// SPARSEBUILD from a half-sampled H₂ must still produce an edge set
+	// within the same components, containing all low-degree edges.
+	g := gen.GNM(1500, 4000, 21)
+	truth := baseline.BFSLabels(g)
+	m, f, red := reduced(t, g, 3)
+	aux := BuildAux(m, g.N, red.Edges)
+	H2 := gen.SampleEdges(&graph.Graph{N: g.N, Edges: red.Edges}, 0.5, 99).Edges
+	p := DefaultParams(g.N, 8)
+	EH := SparseBuild(m, f, red.Roots, aux, H2, p)
+	for _, e := range EH {
+		if truth[e.U] != truth[e.V] {
+			t.Fatal("sparse skeleton edge crosses components")
+		}
+	}
+}
+
+func TestAuxGatherFindsAllEdges(t *testing.T) {
+	g := gen.GNM(300, 500, 5)
+	m := pram.New(pram.Seed(1))
+	aux := BuildAux(m, g.N, g.Edges)
+	// predicate true for all: gather must return both orientations of
+	// every non-loop edge plus loops once.
+	all := aux.Gather(m, func(int32) bool { return true })
+	wantCount := 0
+	for _, e := range g.Edges {
+		if e.U == e.V {
+			wantCount++
+		} else {
+			wantCount += 2
+		}
+	}
+	if len(all) != wantCount {
+		t.Fatalf("gather(true) returned %d entries, want %d", len(all), wantCount)
+	}
+	// predicate for a single vertex returns exactly its incident edges.
+	var v int32 = 7
+	mine := aux.Gather(m, func(u int32) bool { return u == v })
+	deg := 0
+	for _, e := range g.Edges {
+		if e.U == v || e.V == v {
+			deg++
+		}
+	}
+	if len(mine) != deg {
+		t.Fatalf("gather(v=7) returned %d, want %d", len(mine), deg)
+	}
+	for _, e := range mine {
+		if e.U != v {
+			t.Fatal("gathered edge does not start at v")
+		}
+	}
+}
+
+func TestAuxGatherEmptyPredicate(t *testing.T) {
+	g := gen.Cycle(10)
+	m := pram.New()
+	aux := BuildAux(m, g.N, g.Edges)
+	if got := aux.Gather(m, func(int32) bool { return false }); len(got) != 0 {
+		t.Fatalf("gather(false) returned %d edges", len(got))
+	}
+}
+
+func TestEdgesNotIn(t *testing.T) {
+	m := pram.New()
+	E := []graph.Edge{{U: 0, V: 1}, {U: 1, V: 2}, {U: 2, V: 3}}
+	mask := []bool{true, false, true}
+	out := EdgesNotIn(m, E, mask)
+	if len(out) != 1 || out[0] != (graph.Edge{U: 1, V: 2}) {
+		t.Fatalf("EdgesNotIn = %v", out)
+	}
+}
+
+func TestIncreaseSparseKeepsH1Consistent(t *testing.T) {
+	g := gen.RandomRegular(2000, 6, 31)
+	truth := baseline.BFSLabels(g)
+	m, f, red := reduced(t, g, 17)
+	aux := BuildAux(m, g.N, red.Edges)
+	H1 := gen.SampleEdges(&graph.Graph{N: g.N, Edges: red.Edges}, 0.4, 1).Edges
+	H2 := gen.SampleEdges(&graph.Graph{N: g.N, Edges: red.Edges}, 0.4, 2).Edges
+	p := DefaultParams(g.N, 8)
+	p.LTZ = ltz.DefaultParams(g.N)
+	h1, eclose := IncreaseSparse(m, f, red.Roots, aux, H1, H2, p)
+	if err := labeled.CheckSameComponent(f, truth); err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range h1 {
+		if truth[e.U] != truth[e.V] {
+			t.Fatal("H1 edge crosses components after alter")
+		}
+		if e.U == e.V {
+			t.Fatal("IncreaseSparse should have dropped H1 loops")
+		}
+	}
+	for _, e := range eclose {
+		if truth[e.U] != truth[e.V] {
+			t.Fatal("eclose edge crosses components")
+		}
+	}
+}
+
+func TestDefaultParamsClampB(t *testing.T) {
+	p := DefaultParams(1000, 0)
+	if p.B < 4 {
+		t.Errorf("B = %d, want clamp to ≥ 4", p.B)
+	}
+	if p.TableSize < p.HighOccupancy {
+		t.Error("table must be larger than the high threshold")
+	}
+}

@@ -1,0 +1,298 @@
+// Package parcc is a Go implementation of "Connected Components in Linear
+// Work and Near-Optimal Time" (Farhadi, Liu, Shi — SPAA 2024): a simulated
+// ARBITRARY CRCW PRAM connectivity algorithm running in
+// O(log(1/λ) + log log n) parallel time and O(m+n) work w.h.p., where λ is
+// the minimum spectral gap over the connected components of the input.
+//
+// The package exposes:
+//
+//   - ConnectedComponents: the paper's CONNECTIVITY algorithm (§7), plus
+//     the [LTZ20] baseline, Shiloach–Vishkin, random-mate, label
+//     propagation, and sequential union-find / BFS for comparison;
+//   - graph constructors and the generator families used by the paper's
+//     analysis (expanders, hypercubes, grids, cycles, ring-of-cliques,
+//     the 2-CYCLE instances, the Appendix-B construction);
+//   - spectral utilities: per-component spectral gap λ, conductance and
+//     diameter, the quantities the paper's bounds are parameterized by.
+//
+// Quick start:
+//
+//	g := parcc.RandomRegular(1<<16, 8, 1)  // an expander: λ = Θ(1)
+//	res, err := parcc.ConnectedComponents(g, nil)
+//	if err != nil { ... }
+//	fmt.Println(res.NumComponents, res.Steps, res.Work)
+package parcc
+
+import (
+	"fmt"
+	"io"
+
+	"parcc/internal/baseline"
+	"parcc/internal/core"
+	"parcc/internal/graph"
+	"parcc/internal/graph/gen"
+	"parcc/internal/liutarjan"
+	"parcc/internal/ltz"
+	"parcc/internal/pram"
+	"parcc/internal/spectral"
+)
+
+// Graph is an undirected multigraph on vertices 0..N-1; self-loops and
+// parallel edges are permitted (§2.1).
+type Graph = graph.Graph
+
+// Edge is an undirected edge.
+type Edge = graph.Edge
+
+// NewGraph returns an empty graph on n vertices.
+func NewGraph(n int) *Graph { return graph.New(n) }
+
+// FromPairs builds a graph on n vertices from (u,v) pairs.
+func FromPairs(n int, pairs [][2]int) *Graph { return graph.FromPairs(n, pairs) }
+
+// ReadGraph parses the "n m" + edge-list format.
+func ReadGraph(r io.Reader) (*Graph, error) { return graph.ReadEdgeList(r) }
+
+// WriteGraph writes the "n m" + edge-list format.
+func WriteGraph(w io.Writer, g *Graph) error { return graph.WriteEdgeList(w, g) }
+
+// Algorithm selects which connectivity algorithm ConnectedComponents runs.
+type Algorithm string
+
+// Available algorithms.
+const (
+	// FLS is the paper's CONNECTIVITY (Theorem 1): the default.
+	FLS Algorithm = "fls"
+	// FLSKnownGap is the fixed-b three-stage pipeline (Theorem 3).
+	FLSKnownGap Algorithm = "fls-known-gap"
+	// LTZ is the Liu–Tarjan–Zhong baseline (Theorem 2).
+	LTZ Algorithm = "ltz"
+	// SV is Shiloach–Vishkin / Awerbuch–Shiloach.
+	SV Algorithm = "sv"
+	// RandomMate is Reif's random-mate contraction.
+	RandomMate Algorithm = "random-mate"
+	// LabelProp is synchronous minimum-label propagation.
+	LabelProp Algorithm = "label-prop"
+	// UnionFind is the sequential disjoint-set baseline.
+	UnionFind Algorithm = "union-find"
+	// BFS is the sequential breadth-first baseline (ground truth).
+	BFS Algorithm = "bfs"
+	// LT is the Liu–Tarjan simple concurrent algorithm [LT19]
+	// (parent-connect + shortcut + alter).
+	LT Algorithm = "liu-tarjan"
+	// ParBFS is multi-source level-synchronous parallel BFS: O(d) rounds,
+	// O(m+n) work.
+	ParBFS Algorithm = "parallel-bfs"
+)
+
+// Options configures a run.  The zero value (or nil) selects the FLS
+// algorithm with practical parameters on all CPUs.
+type Options struct {
+	// Algorithm selects the solver (default FLS).
+	Algorithm Algorithm
+	// Workers bounds the goroutine pool (default: NumCPU).
+	Workers int
+	// Sequential forces deterministic single-threaded simulation.
+	Sequential bool
+	// Seed makes randomized algorithms reproducible (default 1).
+	Seed uint64
+	// Params overrides the FLS parameter profile (default core.Default).
+	Params *core.Params
+	// KnownGapB is the degree target b for FLSKnownGap (default 16).
+	KnownGapB int
+}
+
+// Result reports the labeling and the PRAM cost of a run.
+type Result struct {
+	// Labels[v] is the component representative of vertex v.
+	Labels []int32
+	// NumComponents is the number of connected components.
+	NumComponents int
+	// Steps is the charged PRAM time (synchronous rounds).
+	Steps int64
+	// Work is the charged PRAM work (total operations).
+	Work int64
+	// Phases is the number of INTERWEAVE phases used (FLS only).
+	Phases int
+	// Algorithm echoes the solver used.
+	Algorithm Algorithm
+	// Breakdown attributes charged cost to stages (FLS and FLSKnownGap):
+	// stage1-reduce, presample, phase-i, finish / stage2-increase, ....
+	Breakdown []StageCost
+}
+
+// StageCost is one entry of a per-stage cost breakdown.
+type StageCost struct {
+	Stage string
+	Steps int64
+	Work  int64
+}
+
+// ConnectedComponents labels the connected components of g.
+func ConnectedComponents(g *Graph, opt *Options) (*Result, error) {
+	if g == nil {
+		return nil, fmt.Errorf("parcc: nil graph")
+	}
+	if err := g.Validate(); err != nil {
+		return nil, fmt.Errorf("parcc: %w", err)
+	}
+	o := Options{}
+	if opt != nil {
+		o = *opt
+	}
+	if o.Algorithm == "" {
+		o.Algorithm = FLS
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if o.KnownGapB <= 0 {
+		o.KnownGapB = 16
+	}
+
+	mopts := []pram.Option{pram.Seed(o.Seed)}
+	if o.Sequential {
+		mopts = append(mopts, pram.Sequential())
+	} else if o.Workers > 0 {
+		mopts = append(mopts, pram.Workers(o.Workers))
+	}
+	m := pram.New(mopts...)
+
+	params := core.Default(g.N)
+	if o.Params != nil {
+		params = *o.Params
+	}
+	params.Seed ^= o.Seed
+
+	res := &Result{Algorithm: o.Algorithm}
+	switch o.Algorithm {
+	case FLS:
+		r := core.Connectivity(m, g, params)
+		res.Labels, res.NumComponents, res.Phases = r.Labels, r.NumComponents, r.Phases
+		res.Breakdown = stageCosts(r.Breakdown)
+	case FLSKnownGap:
+		r := core.SolveKnownGap(m, g, o.KnownGapB, params)
+		res.Labels, res.NumComponents = r.Labels, r.NumComponents
+		res.Breakdown = stageCosts(r.Breakdown)
+	case LTZ:
+		lp := params.LTZ
+		lp.Seed ^= o.Seed
+		f := ltz.Solve(m, g, lp)
+		res.Labels = f.Labels()
+	case SV:
+		f := baseline.ShiloachVishkin(m, g)
+		res.Labels = f.Labels()
+	case RandomMate:
+		f := baseline.RandomMate(m, g, o.Seed)
+		res.Labels = f.Labels()
+	case LabelProp:
+		res.Labels = baseline.LabelProp(m, g)
+	case LT:
+		res.Labels = liutarjan.Labels(m, g, liutarjan.Config{
+			Connect: liutarjan.ParentConnect, Alter: true,
+		})
+	case ParBFS:
+		res.Labels = baseline.ParallelBFS(m, g)
+	case UnionFind:
+		res.Labels = baseline.UnionFindLabels(g)
+	case BFS:
+		res.Labels = baseline.BFSLabels(g)
+	default:
+		return nil, fmt.Errorf("parcc: unknown algorithm %q", o.Algorithm)
+	}
+	if res.NumComponents == 0 {
+		res.NumComponents = graph.NumLabels(res.Labels)
+	}
+	res.Steps = m.Steps()
+	res.Work = m.Work()
+	return res, nil
+}
+
+func stageCosts(marks []pram.Mark) []StageCost {
+	out := make([]StageCost, len(marks))
+	for i, mk := range marks {
+		out[i] = StageCost{Stage: mk.Label, Steps: mk.Steps, Work: mk.Work}
+	}
+	return out
+}
+
+// SameComponent reports whether u and v received the same label.
+func (r *Result) SameComponent(u, v int) bool {
+	return r.Labels[u] == r.Labels[v]
+}
+
+// Components groups vertices by label, ordered by smallest member.
+func (r *Result) Components() [][]int32 { return graph.ComponentsOf(r.Labels) }
+
+// Verify checks r.Labels against a sequential BFS of g.
+func Verify(g *Graph, labels []int32) bool {
+	return graph.SamePartition(baseline.BFSLabels(g), labels)
+}
+
+// Certificate is an independently checkable spanning-forest witness.
+type Certificate = graph.Certificate
+
+// Certify builds a spanning-forest certificate for a labeling (and errors
+// if the labeling is wrong — it doubles as an exact checker).
+func Certify(g *Graph, labels []int32) (*Certificate, error) {
+	return graph.BuildCertificate(g, labels)
+}
+
+// VerifyCertificate validates a certificate against the graph from scratch.
+func VerifyCertificate(g *Graph, c *Certificate) error {
+	return graph.VerifyCertificate(g, c)
+}
+
+// SpectralGap estimates λ(G): the minimum spectral gap (second-smallest
+// normalized-Laplacian eigenvalue, Definition 2.2) over all connected
+// components with ≥ 2 vertices.
+func SpectralGap(g *Graph) float64 { return spectral.Gap(g, nil) }
+
+// ComponentSpectralGaps returns λ per component (NaN for singletons).
+func ComponentSpectralGaps(g *Graph) []float64 { return spectral.ComponentGaps(g, nil) }
+
+// Diameter returns the exact maximum intra-component diameter (O(nm); for
+// large graphs prefer DiameterApprox).
+func Diameter(g *Graph) int { return spectral.DiameterExact(g) }
+
+// DiameterApprox lower-bounds the diameter by iterated double sweeps.
+func DiameterApprox(g *Graph) int { return spectral.DiameterApprox(g, 3) }
+
+// Generator re-exports.  Each family is documented in internal/graph/gen
+// with the spectral-gap regime it exercises.
+var (
+	// Path is the n-vertex path: λ = Θ(1/n²).
+	Path = gen.Path
+	// Cycle is the n-cycle: λ = Θ(1/n²).
+	Cycle = gen.Cycle
+	// TwoCycles is two disjoint ⌊n/2⌋/⌈n/2⌉-cycles (the 2-CYCLE instance).
+	TwoCycles = gen.TwoCycles
+	// Grid is the r×c grid.
+	Grid = gen.Grid
+	// Torus is the r×c torus.
+	Torus = gen.Torus
+	// Hypercube is the d-dimensional hypercube: λ = 2/d.
+	Hypercube = gen.Hypercube
+	// Complete is K_n.
+	Complete = gen.Complete
+	// Star is K_{1,n-1}.
+	Star = gen.Star
+	// BinaryTree is the complete binary tree on n vertices.
+	BinaryTree = gen.BinaryTree
+	// RandomRegular is a random d-regular multigraph (expander w.h.p.).
+	RandomRegular = gen.RandomRegular
+	// GNM is the Erdős–Rényi G(n,m) multigraph.
+	GNM = gen.GNM
+	// RingOfCliques is k s-cliques in a ring with tunable bridge count.
+	RingOfCliques = gen.RingOfCliques
+	// Lollipop is a clique with a path tail.
+	Lollipop = gen.Lollipop
+	// Barbell is two cliques joined by a path.
+	Barbell = gen.Barbell
+	// UnionGraphs is the disjoint union of graphs.
+	UnionGraphs = gen.Union
+	// AppendixB is the diameter-blowup construction of Appendix B.
+	AppendixB = gen.AppendixB
+	// SampleEdges keeps each edge independently with probability p.
+	SampleEdges = gen.SampleEdges
+)
