@@ -6,6 +6,7 @@
 //
 //	ccbench                      # run everything at small scale, markdown
 //	ccbench -run E1,E2 -scale full
+//	ccbench -run SP -scale full -backend concurrent -procs 8   # T1/TP self-speedup
 //	ccbench -format csv -out results/
 package main
 
@@ -29,6 +30,8 @@ func main() {
 		outDir  = flag.String("out", "", "write one file per experiment into this directory")
 		seed    = flag.Uint64("seed", 1, "random seed")
 		workers = flag.Int("workers", 0, "goroutine pool size (0 = NumCPU)")
+		backend = flag.String("backend", "", "execution backend: sequential | concurrent (default: legacy simulator)")
+		procs   = flag.Int("procs", 0, "parallelism of the concurrent backend (0 = NumCPU); also the top procs of SP")
 	)
 	flag.Parse()
 
@@ -39,7 +42,13 @@ func main() {
 		return
 	}
 
-	cfg := bench.Config{Seed: *seed, Workers: *workers}
+	switch strings.ToLower(*backend) {
+	case "", "sequential", "concurrent":
+	default:
+		fmt.Fprintf(os.Stderr, "ccbench: unknown backend %q (want sequential or concurrent)\n", *backend)
+		os.Exit(1)
+	}
+	cfg := bench.Config{Seed: *seed, Workers: *workers, Backend: *backend, Procs: *procs}
 	switch strings.ToLower(*scale) {
 	case "small":
 		cfg.Scale = bench.Small

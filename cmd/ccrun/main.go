@@ -5,10 +5,15 @@
 //
 //	ccrun -gen expander:n=65536,d=8 -algo fls
 //	ccrun -graph edges.txt -algo sv -workers 4
+//	ccrun -gen expander:n=262144,d=8 -backend concurrent -procs 8 -speedup
 //	graphgen -gen cycle:n=100000 | ccrun -graph - -algo ltz
 //
 // Algorithms: fls (the paper), fls-known-gap, ltz, sv, random-mate,
-// label-prop, union-find, bfs.
+// label-prop, liu-tarjan, parallel-bfs, cas, union-find, bfs.
+//
+// Backends: sequential (deterministic single-threaded simulation) and
+// concurrent (the internal/par goroutine pool); -speedup additionally runs
+// the concurrent backend at procs=1 and reports T1/TP self-speedup.
 package main
 
 import (
@@ -25,11 +30,14 @@ func main() {
 	var (
 		graphFile = flag.String("graph", "", "edge-list file (- for stdin)")
 		genSpec   = flag.String("gen", "", "generator spec, e.g. expander:n=4096,d=8 (families: "+cli.Families()+")")
-		algo      = flag.String("algo", "fls", "algorithm: fls fls-known-gap ltz sv random-mate label-prop liu-tarjan union-find bfs")
+		algo      = flag.String("algo", "fls", "algorithm: fls fls-known-gap ltz sv random-mate label-prop liu-tarjan parallel-bfs cas union-find bfs")
+		backend   = flag.String("backend", "", "execution backend: sequential | concurrent (default: legacy simulator)")
+		procs     = flag.Int("procs", 0, "parallelism of the concurrent backend (0 = NumCPU)")
 		workers   = flag.Int("workers", 0, "goroutine pool size (0 = NumCPU)")
 		seq       = flag.Bool("seq", false, "deterministic sequential simulation")
 		seed      = flag.Uint64("seed", 1, "random seed")
 		b         = flag.Int("b", 16, "degree target for fls-known-gap")
+		speedup   = flag.Bool("speedup", false, "report T1/TP self-speedup of the concurrent backend (runs twice)")
 		verify    = flag.Bool("verify", false, "check the result against BFS")
 		list      = flag.Bool("components", false, "print every component")
 	)
@@ -41,14 +49,21 @@ func main() {
 		os.Exit(1)
 	}
 
-	start := time.Now()
-	res, err := parcc.ConnectedComponents(g, &parcc.Options{
+	opt := parcc.Options{
 		Algorithm:  parcc.Algorithm(*algo),
+		Backend:    parcc.Backend(*backend),
+		Procs:      *procs,
 		Workers:    *workers,
 		Sequential: *seq,
 		Seed:       *seed,
 		KnownGapB:  *b,
-	})
+	}
+	if *speedup {
+		opt.Backend = parcc.BackendConcurrent
+	}
+
+	start := time.Now()
+	res, err := parcc.ConnectedComponents(g, &opt)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "ccrun:", err)
 		os.Exit(1)
@@ -57,6 +72,9 @@ func main() {
 
 	fmt.Printf("graph:       n=%d m=%d\n", g.N, g.M())
 	fmt.Printf("algorithm:   %s\n", res.Algorithm)
+	if res.Backend != "" {
+		fmt.Printf("backend:     %s (procs=%d)\n", res.Backend, res.Procs)
+	}
 	fmt.Printf("components:  %d\n", res.NumComponents)
 	fmt.Printf("pram time:   %d rounds\n", res.Steps)
 	fmt.Printf("pram work:   %d ops (%.2f per edge+vertex)\n", res.Work,
@@ -65,6 +83,22 @@ func main() {
 	if res.Phases > 0 {
 		fmt.Printf("phases:      %d\n", res.Phases)
 	}
+
+	if *speedup {
+		p := res.Procs
+		one := opt
+		one.Procs = 1
+		t0 := time.Now()
+		if _, err := parcc.ConnectedComponents(g, &one); err != nil {
+			fmt.Fprintln(os.Stderr, "ccrun:", err)
+			os.Exit(1)
+		}
+		t1 := time.Since(t0)
+		fmt.Printf("T1 (procs=1): %v\n", t1)
+		fmt.Printf("TP (procs=%d): %v\n", p, wall)
+		fmt.Printf("self-speedup: %.2fx\n", float64(t1)/float64(wall))
+	}
+
 	if *verify {
 		if parcc.Verify(g, res.Labels) {
 			fmt.Println("verify:      OK (matches BFS)")

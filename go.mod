@@ -1,0 +1,3 @@
+module parcc
+
+go 1.24

@@ -133,24 +133,24 @@ func ShiloachVishkin(m *pram.Machine, g *graph.Graph) *labeled.Forest {
 	capRounds := 4*log2ceil(n) + 64
 	for rounds := 0; changed[0] != 0; rounds++ {
 		changed[0] = 0
-		// Conditional hooking: roots hook onto strictly smaller parents.
+		// Conditional hooking: roots hook onto strictly smaller roots.
 		snapshot()
 		m.For(len(g.Edges), func(i int) {
 			e := g.Edges[i]
-			hook(p, old, e.U, e.V, changed, true)
-			hook(p, old, e.V, e.U, changed, true)
+			hookCond(p, old, e.U, e.V, changed)
+			hookCond(p, old, e.V, e.U, changed)
 		})
 		if rounds <= capRounds {
 			computeStars(m, p, star)
-			// Unconditional hooking for stars (onto any different parent).
+			// Unconditional hooking for stars (onto any different root).
 			snapshot()
 			m.For(len(g.Edges), func(i int) {
 				e := g.Edges[i]
 				if pram.Flag(star, int(e.U)) {
-					hook(p, old, e.U, e.V, changed, false)
+					hookStar(p, old, star, e.U, e.V, changed)
 				}
 				if pram.Flag(star, int(e.V)) {
-					hook(p, old, e.V, e.U, changed, false)
+					hookStar(p, old, star, e.V, e.U, changed)
 				}
 			})
 		}
@@ -168,34 +168,56 @@ func ShiloachVishkin(m *pram.Machine, g *graph.Graph) *labeled.Forest {
 	return f
 }
 
-// hook points u's snapshot parent-root at v's snapshot parent when
-// permitted, reading the pre-step state (old) and writing the live array —
-// the synchronous CRCW step discipline.  Conditional hooking (cond=true)
-// allows only strictly smaller targets; star hooking allows any different
-// target.  Star hooking is safe because stars are recomputed after
-// conditional hooking: two surviving stars are never adjacent (the
-// larger-rooted one would have hooked conditionally), so no hooking cycle
-// can form — the classical Awerbuch–Shiloach argument.
-func hook(p, old []int32, u, v int32, changed []int32, cond bool) {
+// Hooking discipline.  Both hook kinds decide purely from the pre-step
+// snapshot (old) and write the live array, and both require the target pv
+// to be a root *in the snapshot*.  Deciding from a racy live read instead
+// (a previous revision checked p[pv]==pv at write time) admits hooking
+// cycles: with k mutually adjacent stars, all k check-then-write pairs can
+// interleave so every check passes before any write lands, producing a
+// k-cycle of parent pointers — and the synchronous shortcut only permutes a
+// cycle (a 2-cycle resets to two roots, a 3-cycle maps to its inverse), so
+// the round repeats forever.  Snapshot-only decisions make the write set of
+// a step a deterministic function of the pre-step state, independent of the
+// goroutine interleaving; the rules below then forbid cycles outright.
+//
+// No-cycle argument: every write targets p[pu] for a snapshot root pu, so a
+// cycle could only pass through written roots, following pu -> pv where pv
+// is the next written root on the cycle.  In the conditional step every
+// edge has pv < pu — a strictly decreasing cycle is impossible.  In the
+// star step a written root is a star root; hooking onto a *larger* target
+// is allowed only when the target's tree is not a star, so an edge of the
+// cycle pointing at a written (star) root must again have pv < pu.  Roots
+// therefore never resurrect, |roots| is non-increasing and drops on every
+// hook, and shortcut-only rounds strictly reduce total height: the loop
+// terminates under any write interleaving.
+
+// hookCond points u's snapshot root at v's snapshot parent when the latter
+// is a strictly smaller snapshot root.
+func hookCond(p, old []int32, u, v int32, changed []int32) {
 	pu := old[u]
-	// Only hook when pu is a root in the snapshot.
 	if old[pu] != pu {
 		return
 	}
 	pv := old[v]
-	if cond {
-		if pv < pu {
-			pram.Store32(p, int(pu), pv)
-			pram.SetFlag(changed, 0)
-		}
+	if old[pv] == pv && pv < pu {
+		pram.Store32(p, int(pu), pv)
+		pram.SetFlag(changed, 0)
+	}
+}
+
+// hookStar hooks the root of a star vertex u onto v's snapshot parent: any
+// smaller root, or a larger root whose tree is not a star (a larger star
+// would reciprocate and could close a 2-cycle; it hooks onto us instead).
+func hookStar(p, old, star []int32, u, v int32, changed []int32) {
+	pu := old[u]
+	if old[pu] != pu {
 		return
 	}
-	// Star hooking: the target must still be a live root.  Without this
-	// check a 2-cycle forms when conditional hooking already claimed the
-	// target this round (p[b]=a from the conditional step, then the star
-	// rooted at a writes p[a]=old-snapshot b): the synchronous shortcut
-	// resets such a pair to two roots and the round repeats forever.
-	if pv != pu && pram.Load32(p, int(pv)) == pv {
+	pv := old[v]
+	if pv == pu || old[pv] != pv {
+		return
+	}
+	if pv < pu || !pram.Flag(star, int(pv)) {
 		pram.Store32(p, int(pu), pv)
 		pram.SetFlag(changed, 0)
 	}

@@ -126,6 +126,27 @@ func TestRandomGraphsAgainstBFS(t *testing.T) {
 	}
 }
 
+func TestShiloachVishkinHookCycleRegression(t *testing.T) {
+	// Regression: under concurrent execution the old star hook checked the
+	// target's rootness with a racy live read; on this instance three star
+	// roots check-then-wrote concurrently and closed a 3-cycle of parent
+	// pointers (11 -> 34 -> 12 -> 11), which the synchronous shortcut maps
+	// to its inverse forever.  Snapshot-only hook decisions must terminate.
+	seed := uint64(0xc0bad6722deab0a4)
+	g := gen.GNM(60, 70, seed)
+	done := make(chan *labeled.Forest, 1)
+	m := pram.New(pram.Seed(seed))
+	go func() { done <- ShiloachVishkin(m, g) }()
+	select {
+	case f := <-done:
+		if !graph.SamePartition(BFSLabels(g), f.Labels()) {
+			t.Fatal("wrong partition")
+		}
+	case <-time.After(60 * time.Second):
+		t.Fatal("Shiloach-Vishkin livelocked")
+	}
+}
+
 func TestBFSLabelsUseSmallestVertex(t *testing.T) {
 	g := gen.Union(gen.Path(3), gen.Path(2))
 	l := BFSLabels(g)
@@ -172,7 +193,7 @@ func TestShiloachVishkinNoLivelock(t *testing.T) {
 	// Regression: a union of eight 4-regular expanders livelocked the
 	// star-hooking step (a conditional hook and a star hook formed a
 	// mutual 2-cycle that the synchronous shortcut reset identically every
-	// round).  The live-root target check must keep this terminating.
+	// round).  The snapshot-root target checks must keep this terminating.
 	g := gen.ManyComponents(8, func(i int) *graph.Graph {
 		return gen.RandomRegular(1<<12, 4, uint64(i))
 	})

@@ -10,13 +10,16 @@ package bench
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
 	"strings"
+	"sync"
 	"time"
 
 	"parcc/internal/core"
 	"parcc/internal/graph"
 	"parcc/internal/ltz"
+	"parcc/internal/par"
 	"parcc/internal/pram"
 )
 
@@ -34,6 +37,13 @@ type Config struct {
 	Scale   Scale
 	Seed    uint64
 	Workers int
+	// Backend selects the execution engine for every experiment machine:
+	// "" (legacy simulator), "sequential", or "concurrent" (the
+	// internal/par pool).
+	Backend string
+	// Procs bounds the concurrent backend's parallelism (0: Workers, else
+	// NumCPU).
+	Procs int
 }
 
 func (c Config) seed() uint64 {
@@ -43,10 +53,49 @@ func (c Config) seed() uint64 {
 	return c.Seed
 }
 
+func (c Config) procs() int {
+	if c.Procs > 0 {
+		return c.Procs
+	}
+	if c.Workers > 0 {
+		return c.Workers
+	}
+	return runtime.NumCPU()
+}
+
+// pools shares one runtime per parallelism degree across all experiment
+// machines: experiments build machines in nested loops, and a pool per
+// machine would stack up parked goroutines (and GC-timed teardown) while
+// the benchmark is timing.  The pools live for the process — ccbench exits
+// when the tables are done.  Machine randomness comes from pram.Seed; the
+// runtime seed only feeds ForChunks streams, which machines don't use.
+var (
+	poolMu sync.Mutex
+	pools  = map[int]*par.Runtime{}
+)
+
+func sharedPool(procs int) *par.Runtime {
+	poolMu.Lock()
+	defer poolMu.Unlock()
+	rt, ok := pools[procs]
+	if !ok {
+		rt = par.New(par.Procs(procs))
+		pools[procs] = rt
+	}
+	return rt
+}
+
 func (c Config) machine() *pram.Machine {
 	opts := []pram.Option{pram.Seed(c.seed())}
-	if c.Workers > 0 {
-		opts = append(opts, pram.Workers(c.Workers))
+	switch strings.ToLower(c.Backend) {
+	case "sequential":
+		opts = append(opts, pram.Sequential())
+	case "concurrent":
+		opts = append(opts, pram.OnExecutor(sharedPool(c.procs())))
+	default:
+		if c.Workers > 0 {
+			opts = append(opts, pram.Workers(c.Workers))
+		}
 	}
 	return pram.New(opts...)
 }
@@ -135,6 +184,7 @@ func All() []Experiment {
 		{"E15", "per-stage cost attribution (§7)", E15StageBreakdown},
 		{"E16", "ablation: FILTER deletion probability (§4.2)", E16FilterDeletion},
 		{"E17", "ablation: EXPAND-MAXLINK budgets (§5.2)", E17BudgetGrid},
+		{"SP", "concurrent backend self-speedup T1/TP (internal/par)", SPSelfSpeedup},
 	}
 }
 

@@ -2,11 +2,13 @@ package core
 
 import (
 	"fmt"
+	"sort"
 	"time"
 
 	"parcc/internal/graph"
 	"parcc/internal/labeled"
 	"parcc/internal/ltz"
+	"parcc/internal/par"
 	"parcc/internal/pram"
 	"parcc/internal/prim"
 	"parcc/internal/stage1"
@@ -112,7 +114,7 @@ func Connectivity(m *pram.Machine, g *graph.Graph, p Params) *Result {
 	}
 	m.SetMark("finish")
 
-	res.Labels = f.Labels()
+	res.Labels = labeled.LabelsOn(m.Exec(), f)
 	res.NumComponents = graph.NumLabels(res.Labels)
 	res.Steps = m.Steps()
 	res.Work = m.Work()
@@ -329,17 +331,47 @@ func markVertexSet(m *pram.Machine, n int, E []graph.Edge) []int32 {
 	return flag
 }
 
+// vertexSetList returns the distinct endpoints of E in increasing order.
+// (An earlier revision collected them from a map, whose iteration order made
+// the vertex list — and thus downstream tie-breaks — nondeterministic even
+// in sequential mode.)  The actual work tracks the charged O(|E|) instead
+// of O(n): a flag-array sweep runs only when the edge set is dense enough
+// that O(n) = O(|E|); sparse edge sets take a sort-dedup of the 2|E|
+// endpoints — O(|E| log |E|), whose log factor is uncharged, like the other
+// sort-backed contracts in internal/prim.  Both paths yield the same sorted
+// list.
 func vertexSetList(m *pram.Machine, n int, E []graph.Edge) []int32 {
 	var out []int32
 	m.Contract(prim.LogStar(n)+1, int64(len(E)), func() {
-		seen := make(map[int32]struct{}, 2*len(E))
-		for _, e := range E {
-			seen[e.U] = struct{}{}
-			seen[e.V] = struct{}{}
+		if 16*len(E) >= n {
+			flag := make([]int32, n)
+			if e := m.Exec(); e != nil {
+				e.Run(len(E), func(i int) {
+					pram.SetFlag(flag, int(E[i].U))
+					pram.SetFlag(flag, int(E[i].V))
+				})
+				out = par.CompactIndices(e, n, func(v int) bool { return flag[v] != 0 })
+				return
+			}
+			for _, ed := range E {
+				flag[ed.U], flag[ed.V] = 1, 1
+			}
+			for v := 0; v < n; v++ {
+				if flag[v] != 0 {
+					out = append(out, int32(v))
+				}
+			}
+			return
 		}
-		out = make([]int32, 0, len(seen))
-		for v := range seen {
-			out = append(out, v)
+		ends := make([]int32, 0, 2*len(E))
+		for _, ed := range E {
+			ends = append(ends, ed.U, ed.V)
+		}
+		sort.Slice(ends, func(i, j int) bool { return ends[i] < ends[j] })
+		for i, v := range ends {
+			if i == 0 || ends[i-1] != v {
+				out = append(out, v)
+			}
 		}
 	})
 	return out
@@ -383,7 +415,7 @@ func SolveKnownGap(m *pram.Machine, g *graph.Graph, b int, p Params) *Result {
 	labeled.FlattenAll(m, f)
 	m.SetMark("backstop")
 
-	labels := f.Labels()
+	labels := labeled.LabelsOn(m.Exec(), f)
 	return &Result{
 		Labels:        labels,
 		NumComponents: graph.NumLabels(labels),

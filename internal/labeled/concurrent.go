@@ -1,0 +1,22 @@
+package labeled
+
+import (
+	"parcc/internal/par"
+	"parcc/internal/pram"
+)
+
+// LabelsOn returns component labels exactly like (*Forest).Labels — the root
+// of every vertex's tree — but computes them by concurrent pointer jumping
+// on the given executor.  Like Labels it is an uncharged output helper, so
+// routing it through the runtime changes wall clock only, never the model
+// costs.  A nil executor falls back to the sequential memoized chase.  The
+// forest itself is not mutated.
+func LabelsOn(e pram.Executor, f *Forest) []int32 {
+	if e == nil || e.Procs() == 1 {
+		return f.Labels()
+	}
+	out := make([]int32, len(f.P))
+	e.Run(len(out), func(v int) { out[v] = f.P[v] })
+	par.Compress(e, out)
+	return out
+}

@@ -12,6 +12,7 @@ import (
 	"fmt"
 
 	"parcc/internal/graph"
+	"parcc/internal/par"
 	"parcc/internal/pram"
 )
 
@@ -87,8 +88,16 @@ func Alter(m *pram.Machine, f *Forest, E []graph.Edge) []graph.Edge {
 		E[i].U = pram.Load32(p, int(E[i].U))
 		E[i].V = pram.Load32(p, int(E[i].V))
 	})
-	out := E[:0]
+	var out []graph.Edge
 	m.Contract(1, int64(len(E)), func() {
+		// The loop filter is uncharged (the contract above carries the model
+		// cost); on the concurrent backend it runs as a parallel compaction,
+		// which produces the same edge order as the sequential filter.
+		if e := m.Exec(); e != nil && len(E) >= 1<<14 {
+			out = par.Compact(e, E, func(i int) bool { return E[i].U != E[i].V })
+			return
+		}
+		out = E[:0]
 		for _, e := range E {
 			if e.U != e.V {
 				out = append(out, e)

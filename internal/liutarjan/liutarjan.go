@@ -173,10 +173,12 @@ func casInt32(a []int32, i int, oldv, newv int32) bool {
 	return pram.CAS32(a, i, oldv, newv)
 }
 
-// Labels is a convenience wrapper returning component labels directly.
+// Labels is a convenience wrapper returning component labels directly.  On
+// the concurrent backend the final label extraction runs as pointer jumping
+// on the runtime (uncharged either way).
 func Labels(m *pram.Machine, g *graph.Graph, cfg Config) []int32 {
 	f, _ := Solve(m, g, cfg)
-	return f.Labels()
+	return labeled.LabelsOn(m.Exec(), f)
 }
 
 // Variants enumerates the six canonical framework members for benchmarks.

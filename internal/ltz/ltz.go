@@ -505,6 +505,14 @@ func Solve(m *pram.Machine, g *graph.Graph, p Params) *labeled.Forest {
 	return f
 }
 
+// SolveLabels runs Solve and extracts component labels, using the machine's
+// parallel runtime for the (uncharged) extraction when one is installed —
+// the concurrent-backend entry point for the Theorem-2 baseline.
+func SolveLabels(m *pram.Machine, g *graph.Graph, p Params) []int32 {
+	f := Solve(m, g, p)
+	return labeled.LabelsOn(m.Exec(), f)
+}
+
 // minHookFallback contracts the remaining edges by repeated minimum-root
 // hooking + shortcut.  Deterministic, always terminates, O(log n · |E|)
 // work in the worst case; used only as a correctness backstop.

@@ -1,0 +1,24 @@
+package par
+
+import "parcc/internal/graph"
+
+// Components labels the connected components of g with a barrier-free
+// concurrent union-find: one parallel Unite pass over the edges, then a
+// Compress.  This is the cas-unite algorithm of the public API — the
+// wall-clock-oriented companion to the charged PRAM algorithms, in the
+// spirit of the Liu–Tarjan CAS formulations.  The result is deterministic
+// for any procs and schedule: every vertex is labeled by the minimum vertex
+// of its component.
+func Components(e Exec, g *graph.Graph) []int32 {
+	p := make([]int32, g.N)
+	e.Run(g.N, func(v int) { p[v] = int32(v) })
+	edges := g.Edges
+	e.Run(len(edges), func(i int) {
+		ed := edges[i]
+		if ed.U != ed.V {
+			Unite(p, ed.U, ed.V)
+		}
+	})
+	Compress(e, p)
+	return p
+}

@@ -1,0 +1,221 @@
+// Lock-free kernels for the paper's primitives on flat int32 arrays.  All of
+// them tolerate arbitrary interleavings: hooking uses compare-and-swap with a
+// monotone direction (roots only ever acquire strictly smaller parents), so
+// the parent forest stays acyclic and converges to min-labeled components no
+// matter which writer wins — the ARBITRARY CRCW obligation realized with
+// hardware primitives.
+package par
+
+import (
+	"sync/atomic"
+
+	"parcc/internal/graph"
+)
+
+// Find returns the root of v in the parent array p, compressing the visited
+// path by halving (each step CASes v's parent to its grandparent).  Safe
+// under concurrent Find/Unite: parents only ever decrease, so chases
+// terminate and failed CASes are benign.
+func Find(p []int32, v int32) int32 {
+	for {
+		pv := atomic.LoadInt32(&p[v])
+		if pv == v {
+			return v
+		}
+		gp := atomic.LoadInt32(&p[pv])
+		if gp == pv {
+			return pv
+		}
+		// Path halving; a lost race just means someone else lowered it.
+		atomic.CompareAndSwapInt32(&p[v], pv, gp)
+		v = gp
+	}
+}
+
+// Unite links the sets of u and v by hooking the larger root under the
+// smaller (unite-by-min), retrying on contention.  It reports whether the
+// two were in distinct sets.  Because roots only acquire strictly smaller
+// parents, the forest is acyclic under any interleaving and every set's root
+// is its minimum element — which makes the fixpoint of a Unite pass over an
+// edge list deterministic: p[v] chases to the minimum vertex of v's
+// component.
+func Unite(p []int32, u, v int32) bool {
+	for {
+		ru, rv := Find(p, u), Find(p, v)
+		if ru == rv {
+			return false
+		}
+		if ru < rv {
+			ru, rv = rv, ru
+		}
+		// ru > rv: hook ru under rv if ru is still a root.
+		if atomic.CompareAndSwapInt32(&p[ru], ru, rv) {
+			return true
+		}
+	}
+}
+
+// Compress is full pointer jumping: after it returns, p[v] is the root of
+// v's tree for every v.  It works on any acyclic parent forest (parent
+// pointers need not decrease) because concurrent writes only replace a
+// pointer with that vertex's root, which preserves root reachability and
+// only shortens chases.
+func Compress(e Exec, p []int32) {
+	e.Run(len(p), func(v int) {
+		atomic.StoreInt32(&p[v], chase(p, int32(v)))
+	})
+}
+
+// chase follows parent pointers to the root without writing.
+func chase(p []int32, v int32) int32 {
+	for {
+		pv := atomic.LoadInt32(&p[v])
+		if pv == v {
+			return v
+		}
+		v = pv
+	}
+}
+
+// PropagateMin runs synchronous minimum-label propagation over the edge list
+// to fixpoint: each round every edge CAS-lowers both endpoint labels to the
+// other side's, until no label moves.  Labels must be initialized by the
+// caller (identity for component labeling).  Returns the number of rounds —
+// Θ(diameter) on a connected graph.  The fixpoint (per-component minimum of
+// the initial labels) is deterministic.
+func PropagateMin(e Exec, edges []graph.Edge, labels []int32) int {
+	rounds := 0
+	changed := int32(1)
+	for changed != 0 {
+		changed = 0
+		rounds++
+		e.Run(len(edges), func(i int) {
+			ed := edges[i]
+			a := lowerMin(labels, ed.U, atomic.LoadInt32(&labels[ed.V]))
+			b := lowerMin(labels, ed.V, atomic.LoadInt32(&labels[ed.U]))
+			if a || b {
+				atomic.StoreInt32(&changed, 1)
+			}
+		})
+	}
+	return rounds
+}
+
+// lowerMin CAS-lowers labels[v] to x if x is smaller; reports whether it did.
+func lowerMin(labels []int32, v int32, x int32) bool {
+	for {
+		cur := atomic.LoadInt32(&labels[v])
+		if x >= cur {
+			return false
+		}
+		if atomic.CompareAndSwapInt32(&labels[v], cur, x) {
+			return true
+		}
+	}
+}
+
+// Compact returns the xs[i] with keep(i), in index order — the parallel
+// compaction primitive (count per block, exclusive scan, scatter).  Output
+// is identical to the sequential filter for any procs.  The count and
+// scatter passes go through runCoarse: each block is one schedulable task,
+// so they actually spread across the pool (a plain Run over the handful of
+// block indices would be folded into a single grain-sized chunk and
+// silently serialize).
+func Compact[T any](e Exec, xs []T, keep func(i int) bool) []T {
+	n := len(xs)
+	block := 4096
+	if e != nil {
+		// ~8 blocks per proc keeps load balancing without tiny tasks.
+		if b := (n + 8*e.Procs() - 1) / (8 * e.Procs()); b > block {
+			block = b
+		}
+	}
+	nblocks := (n + block - 1) / block
+	if nblocks <= 1 || e == nil || e.Procs() == 1 {
+		out := make([]T, 0, min(n, 16))
+		for i := 0; i < n; i++ {
+			if keep(i) {
+				out = append(out, xs[i])
+			}
+		}
+		return out
+	}
+	counts := make([]int64, nblocks)
+	runCoarse(e, nblocks, func(c int) {
+		lo, hi := c*block, min((c+1)*block, n)
+		var k int64
+		for i := lo; i < hi; i++ {
+			if keep(i) {
+				k++
+			}
+		}
+		counts[c] = k
+	})
+	var total int64
+	for c, k := range counts {
+		counts[c] = total
+		total += k
+	}
+	out := make([]T, total)
+	runCoarse(e, nblocks, func(c int) {
+		lo, hi := c*block, min((c+1)*block, n)
+		at := counts[c]
+		for i := lo; i < hi; i++ {
+			if keep(i) {
+				out[at] = xs[i]
+				at++
+			}
+		}
+	})
+	return out
+}
+
+// CompactIndices returns the indices i in [0,n) with keep(i), in increasing
+// order — the same count/scan/scatter as Compact, writing the indices
+// directly (no materialized identity array).
+func CompactIndices(e Exec, n int, keep func(i int) bool) []int32 {
+	block := 4096
+	if e != nil {
+		if b := (n + 8*e.Procs() - 1) / (8 * e.Procs()); b > block {
+			block = b
+		}
+	}
+	nblocks := (n + block - 1) / block
+	if nblocks <= 1 || e == nil || e.Procs() == 1 {
+		out := make([]int32, 0, 16)
+		for i := 0; i < n; i++ {
+			if keep(i) {
+				out = append(out, int32(i))
+			}
+		}
+		return out
+	}
+	counts := make([]int64, nblocks)
+	runCoarse(e, nblocks, func(c int) {
+		lo, hi := c*block, min((c+1)*block, n)
+		var k int64
+		for i := lo; i < hi; i++ {
+			if keep(i) {
+				k++
+			}
+		}
+		counts[c] = k
+	})
+	var total int64
+	for c, k := range counts {
+		counts[c] = total
+		total += k
+	}
+	out := make([]int32, total)
+	runCoarse(e, nblocks, func(c int) {
+		lo, hi := c*block, min((c+1)*block, n)
+		at := counts[c]
+		for i := lo; i < hi; i++ {
+			if keep(i) {
+				out[at] = int32(i)
+				at++
+			}
+		}
+	})
+	return out
+}

@@ -1,0 +1,63 @@
+package pram
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+// countingExec is a minimal Executor that records how many loops it ran.
+type countingExec struct {
+	procs int
+	loops int64
+}
+
+func (e *countingExec) Run(n int, body func(i int)) {
+	atomic.AddInt64(&e.loops, 1)
+	for i := 0; i < n; i++ {
+		body(i)
+	}
+}
+
+func (e *countingExec) Procs() int { return e.procs }
+
+func TestOnExecutorRoutesLargeLoops(t *testing.T) {
+	e := &countingExec{procs: 4}
+	m := New(Seed(1), Grain(8), OnExecutor(e))
+	if m.WorkersHint() != 4 {
+		t.Fatalf("WorkersHint = %d, want the executor's procs", m.WorkersHint())
+	}
+	if m.Exec() == nil {
+		t.Fatal("Exec() should return the installed executor")
+	}
+	hits := make([]int32, 100)
+	m.For(len(hits), func(i int) { atomic.AddInt32(&hits[i], 1) })
+	for i, h := range hits {
+		if h != 1 {
+			t.Fatalf("index %d ran %d times", i, h)
+		}
+	}
+	if e.loops != 1 {
+		t.Fatalf("executor ran %d loops, want 1", e.loops)
+	}
+	// Loops below the grain stay inline.
+	m.For(4, func(i int) {})
+	if e.loops != 1 {
+		t.Fatalf("sub-grain loop should not hit the executor (loops=%d)", e.loops)
+	}
+	// Charging is unaffected by the executor.
+	if m.Steps() != 2 || m.Work() != 104 {
+		t.Fatalf("steps=%d work=%d, want 2/104", m.Steps(), m.Work())
+	}
+}
+
+func TestSequentialMachineIgnoresExecutor(t *testing.T) {
+	e := &countingExec{procs: 4}
+	m := New(Sequential(), OnExecutor(e), Grain(1))
+	if m.Exec() != nil {
+		t.Fatal("sequential machine must report no executor")
+	}
+	m.For(100, func(i int) {})
+	if e.loops != 0 {
+		t.Fatalf("sequential machine used the executor %d times", e.loops)
+	}
+}

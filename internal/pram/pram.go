@@ -51,6 +51,18 @@ func (o Order) String() string {
 	}
 }
 
+// Executor runs the bodies of parallel loops on behalf of a Machine.  It is
+// the seam between the PRAM simulation and a real parallel runtime: install
+// one with OnExecutor and every charged loop executes its bodies there (the
+// accounting is untouched).  internal/par.Runtime satisfies it.
+type Executor interface {
+	// Run executes body(i) for every i in [0,n) and returns when all calls
+	// have completed (establishing the step barrier).
+	Run(n int, body func(i int))
+	// Procs reports the parallelism degree.
+	Procs() int
+}
+
 // Machine is a simulated ARBITRARY CRCW PRAM.  The zero value is not usable;
 // construct with New.  All orchestration methods (For, Contract, ...) must be
 // called from a single goroutine; loop bodies run concurrently.
@@ -60,6 +72,7 @@ type Machine struct {
 	order   Order
 	seed    uint64
 	grain   int
+	exec    Executor
 
 	suspend int // >0 while running inside a Contract
 	steps   int64
@@ -110,6 +123,19 @@ func Grain(g int) Option {
 	}
 }
 
+// OnExecutor installs a parallel runtime: loop bodies large enough to split
+// run there instead of on per-step spawned goroutines.  It also sets the
+// worker count to the executor's parallelism.  A nil executor restores the
+// built-in spawning behavior.
+func OnExecutor(e Executor) Option {
+	return func(m *Machine) {
+		m.exec = e
+		if e != nil {
+			m.workers = e.Procs()
+		}
+	}
+}
+
 // New returns a machine with the given options applied.
 func New(opts ...Option) *Machine {
 	m := &Machine{
@@ -133,7 +159,21 @@ func (m *Machine) WorkersHint() int {
 	if m.seq {
 		return 1
 	}
+	if m.exec != nil {
+		return m.exec.Procs()
+	}
 	return m.workers
+}
+
+// Exec returns the installed parallel runtime, or nil when the machine runs
+// sequentially or with the built-in per-step goroutines.  Uncharged helpers
+// (label extraction, compaction inside Contract bodies) use it to pick the
+// concurrent fast path.
+func (m *Machine) Exec() Executor {
+	if m.seq {
+		return nil
+	}
+	return m.exec
 }
 
 // Steps reports the number of parallel time steps charged so far.
@@ -206,6 +246,10 @@ func (m *Machine) run(n int, body func(i int)) {
 	}
 	if m.seq || m.workers == 1 || n < m.grain {
 		m.runSeq(n, body)
+		return
+	}
+	if m.exec != nil {
+		m.exec.Run(n, body)
 		return
 	}
 	chunk := (n + m.workers - 1) / m.workers

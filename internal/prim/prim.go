@@ -18,6 +18,7 @@ package prim
 import (
 	"sort"
 
+	"parcc/internal/par"
 	"parcc/internal/pram"
 )
 
@@ -107,6 +108,11 @@ func CompactIndices(m *pram.Machine, n int, keep func(i int) bool) []int32 {
 }
 
 func compactSeq(m *pram.Machine, n int, keep func(i int) bool) []int32 {
+	if e := m.Exec(); e != nil {
+		// Concurrent backend: chunked two-pass compaction on the pooled
+		// runtime (deterministic output, identical to the sequential scan).
+		return par.CompactIndices(e, n, keep)
+	}
 	w := m.WorkersHint()
 	if w <= 1 || n < 1<<14 {
 		out := make([]int32, 0, 16)

@@ -15,25 +15,57 @@
 //   - spectral utilities: per-component spectral gap λ, conductance and
 //     diameter, the quantities the paper's bounds are parameterized by.
 //
+// # Execution backends
+//
+// Every algorithm is written against the synchronous PRAM simulator
+// (internal/pram), which charges model costs per parallel step.  Options
+// .Backend selects where those steps' loop bodies actually execute:
+//
+//   - BackendSequential: single-threaded, deterministic, exactly
+//     reproducible — the reference semantics;
+//   - BackendConcurrent: the internal/par runtime — a persistent goroutine
+//     pool with chunked dynamic load balancing, deterministic per-chunk RNG
+//     streams, and lock-free CAS kernels (hooking, pointer jumping,
+//     min-label propagation, compaction) backing the uncharged helpers.
+//     The charged accounting stays the model's: normalized work is flat,
+//     and round counts of the randomized algorithms may shift a few percent
+//     across procs because ARBITRARY concurrent-write winners steer the
+//     control flow (at Procs: 1 they match the simulator exactly).
+//     Options.Procs bounds the parallelism.
+//
+// The partition returned is the same on either backend (concurrent runs may
+// break ties differently inside a component, but the components are unique).
+// Algorithm CASUnite additionally exposes the barrier-free concurrent
+// union-find itself — the wall-clock-oriented solver whose output labels
+// (component minima) are deterministic even under arbitrary schedules.
+//
 // Quick start:
 //
 //	g := parcc.RandomRegular(1<<16, 8, 1)  // an expander: λ = Θ(1)
 //	res, err := parcc.ConnectedComponents(g, nil)
 //	if err != nil { ... }
 //	fmt.Println(res.NumComponents, res.Steps, res.Work)
+//
+//	fast, err := parcc.ConnectedComponents(g, &parcc.Options{
+//		Backend: parcc.BackendConcurrent, Procs: 8,
+//	})
 package parcc
 
 import (
 	"fmt"
 	"io"
+	"runtime"
 
 	"parcc/internal/baseline"
 	"parcc/internal/core"
 	"parcc/internal/graph"
 	"parcc/internal/graph/gen"
+	"parcc/internal/labeled"
 	"parcc/internal/liutarjan"
 	"parcc/internal/ltz"
+	"parcc/internal/par"
 	"parcc/internal/pram"
+	"parcc/internal/prim"
 	"parcc/internal/spectral"
 )
 
@@ -83,6 +115,33 @@ const (
 	// ParBFS is multi-source level-synchronous parallel BFS: O(d) rounds,
 	// O(m+n) work.
 	ParBFS Algorithm = "parallel-bfs"
+	// CASUnite is the barrier-free concurrent union-find on the internal/par
+	// runtime (unite-by-min hooking, path halving, full compression): the
+	// wall-clock-oriented companion to the charged PRAM algorithms.  Its
+	// result is deterministic on every backend (labels are component
+	// minima); its Steps/Work are charged nominally (one O(log n)-deep
+	// contraction of linear work), since CAS retry counts are not a PRAM
+	// quantity.
+	CASUnite Algorithm = "cas"
+)
+
+// Backend selects the execution engine ConnectedComponents runs on.
+type Backend string
+
+// Available backends.
+const (
+	// BackendSequential is the deterministic single-threaded PRAM
+	// simulation — semantics-preserving and exactly reproducible.
+	BackendSequential Backend = "sequential"
+	// BackendConcurrent executes the same charged PRAM steps with their
+	// loop bodies scheduled on the internal/par runtime: a persistent
+	// goroutine pool with chunked dynamic load balancing, plus CAS fast
+	// paths for the uncharged helpers.  Model costs (Steps/Work) are
+	// identical to the simulator's; only the wall clock changes.
+	BackendConcurrent Backend = "concurrent"
+	// The zero value keeps the legacy selection: the simulator with
+	// per-step goroutines, or single-threaded when Options.Sequential is
+	// set.
 )
 
 // Options configures a run.  The zero value (or nil) selects the FLS
@@ -90,9 +149,17 @@ const (
 type Options struct {
 	// Algorithm selects the solver (default FLS).
 	Algorithm Algorithm
+	// Backend selects the execution engine (default: the legacy simulator
+	// behavior; see Backend).  BackendConcurrent runs the charged PRAM
+	// steps on the internal/par goroutine pool.
+	Backend Backend
+	// Procs bounds the concurrent backend's parallelism (default: Workers,
+	// else NumCPU).
+	Procs int
 	// Workers bounds the goroutine pool (default: NumCPU).
 	Workers int
-	// Sequential forces deterministic single-threaded simulation.
+	// Sequential forces deterministic single-threaded simulation.  Ignored
+	// when Backend is set explicitly.
 	Sequential bool
 	// Seed makes randomized algorithms reproducible (default 1).
 	Seed uint64
@@ -116,6 +183,10 @@ type Result struct {
 	Phases int
 	// Algorithm echoes the solver used.
 	Algorithm Algorithm
+	// Backend echoes the requested backend (zero value: legacy default).
+	Backend Backend
+	// Procs is the parallelism the run used (1 for sequential).
+	Procs int
 	// Breakdown attributes charged cost to stages (FLS and FLSKnownGap):
 	// stage1-reduce, presample, phase-i, finish / stage2-increase, ....
 	Breakdown []StageCost
@@ -150,11 +221,33 @@ func ConnectedComponents(g *Graph, opt *Options) (*Result, error) {
 		o.KnownGapB = 16
 	}
 
+	procs := o.Procs
+	if procs <= 0 {
+		procs = o.Workers
+	}
+	if procs <= 0 {
+		procs = runtime.NumCPU()
+	}
+
+	var rt *par.Runtime
 	mopts := []pram.Option{pram.Seed(o.Seed)}
-	if o.Sequential {
+	switch o.Backend {
+	case "":
+		if o.Sequential {
+			procs = 1
+			mopts = append(mopts, pram.Sequential())
+		} else if o.Workers > 0 {
+			mopts = append(mopts, pram.Workers(o.Workers))
+		}
+	case BackendSequential:
+		procs = 1
 		mopts = append(mopts, pram.Sequential())
-	} else if o.Workers > 0 {
-		mopts = append(mopts, pram.Workers(o.Workers))
+	case BackendConcurrent:
+		rt = par.New(par.Procs(procs), par.Seed(o.Seed))
+		defer rt.Close()
+		mopts = append(mopts, pram.OnExecutor(rt))
+	default:
+		return nil, fmt.Errorf("parcc: unknown backend %q", o.Backend)
 	}
 	m := pram.New(mopts...)
 
@@ -164,7 +257,7 @@ func ConnectedComponents(g *Graph, opt *Options) (*Result, error) {
 	}
 	params.Seed ^= o.Seed
 
-	res := &Result{Algorithm: o.Algorithm}
+	res := &Result{Algorithm: o.Algorithm, Backend: o.Backend, Procs: procs}
 	switch o.Algorithm {
 	case FLS:
 		r := core.Connectivity(m, g, params)
@@ -177,14 +270,13 @@ func ConnectedComponents(g *Graph, opt *Options) (*Result, error) {
 	case LTZ:
 		lp := params.LTZ
 		lp.Seed ^= o.Seed
-		f := ltz.Solve(m, g, lp)
-		res.Labels = f.Labels()
+		res.Labels = ltz.SolveLabels(m, g, lp)
 	case SV:
 		f := baseline.ShiloachVishkin(m, g)
-		res.Labels = f.Labels()
+		res.Labels = labeled.LabelsOn(m.Exec(), f)
 	case RandomMate:
 		f := baseline.RandomMate(m, g, o.Seed)
-		res.Labels = f.Labels()
+		res.Labels = labeled.LabelsOn(m.Exec(), f)
 	case LabelProp:
 		res.Labels = baseline.LabelProp(m, g)
 	case LT:
@@ -193,6 +285,16 @@ func ConnectedComponents(g *Graph, opt *Options) (*Result, error) {
 		})
 	case ParBFS:
 		res.Labels = baseline.ParallelBFS(m, g)
+	case CASUnite:
+		cas := rt
+		if cas == nil {
+			cas = par.New(par.Procs(procs), par.Seed(o.Seed))
+			defer cas.Close()
+		}
+		// Nominal model charge: one O(log n)-deep linear-work contraction.
+		m.Contract(prim.Log2Ceil(g.N+2)+1, int64(2*g.M()+g.N), func() {
+			res.Labels = par.Components(cas, g)
+		})
 	case UnionFind:
 		res.Labels = baseline.UnionFindLabels(g)
 	case BFS:
