@@ -7,6 +7,7 @@
 //	ccbench                      # run everything at small scale, markdown
 //	ccbench -run E1,E2 -scale full
 //	ccbench -run SP -scale full -backend concurrent -procs 8   # T1/TP self-speedup
+//	ccbench -run QPS -backend concurrent                       # one-shot vs Solver session
 //	ccbench -format csv -out results/
 package main
 

@@ -47,4 +47,23 @@ func main() {
 
 	// Every result can be verified against sequential BFS.
 	fmt.Printf("verified:   %v\n", parcc.Verify(g, res.Labels))
+
+	// Serving repeated queries: a Solver session keeps the goroutine pool,
+	// PRAM machine, scratch arena, and cached CSR plan alive across
+	// solves, so repeat queries skip the per-call setup entirely.
+	// SolveInto additionally recycles the Result (labels buffer included),
+	// which makes the steady state of this loop near-allocation-free.
+	solver, err := parcc.NewSolver(&parcc.Options{Seed: 42})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer solver.Close()
+	session := &parcc.Result{}
+	for i := 0; i < 3; i++ {
+		if err := solver.SolveInto(g, session); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Printf("session:    %d components after 3 reused solves (steps=%d, same as one-shot: %v)\n",
+		session.NumComponents, session.Steps, session.Steps == res.Steps)
 }

@@ -18,20 +18,45 @@ package baseline
 import (
 	"parcc/internal/graph"
 	"parcc/internal/labeled"
+	"parcc/internal/par"
 	"parcc/internal/pram"
 	"parcc/internal/prim"
+	"parcc/internal/solve"
 )
 
 // BFSLabels returns component labels (smallest vertex in the component) by
 // sequential breadth-first search.  Used as ground truth everywhere.
 func BFSLabels(g *graph.Graph) []int32 {
-	csr := graph.BuildCSR(g)
-	labels := make([]int32, g.N)
+	return BFSLabelsCSR(graph.BuildCSR(g), g.N, nil)
+}
+
+// BFSLabelsInto is BFSLabels against the context's cached CSR plan,
+// writing into dst when it has the capacity; the BFS queue comes from the
+// arena.
+func BFSLabelsInto(cx *solve.Ctx, g *graph.Graph, dst []int32) []int32 {
+	// Capacity g.N: the queue can hold a whole component, so it never
+	// regrows past the arena's buffer on the warm path.
+	queue := cx.Grab32Cap(g.N)
+	out := bfsLabels(cx.Plan(g).CSR, g.N, dst, queue)
+	cx.Release32(queue)
+	return out
+}
+
+// BFSLabelsCSR runs the BFS labeling over a prebuilt adjacency.
+func BFSLabelsCSR(csr *graph.CSR, n int, dst []int32) []int32 {
+	return bfsLabels(csr, n, dst, make([]int32, 0, 1024))
+}
+
+func bfsLabels(csr *graph.CSR, n int, dst, queue []int32) []int32 {
+	labels := dst
+	if cap(labels) < n {
+		labels = make([]int32, n)
+	}
+	labels = labels[:n]
 	for i := range labels {
 		labels[i] = -1
 	}
-	queue := make([]int32, 0, 1024)
-	for s := 0; s < g.N; s++ {
+	for s := 0; s < n; s++ {
 		if labels[s] >= 0 {
 			continue
 		}
@@ -56,17 +81,31 @@ func BFSLabels(g *graph.Graph) []int32 {
 // compression.
 type UnionFind struct {
 	parent []int32
-	rank   []int8
+	rank   []int32
 	count  int
 }
 
 // NewUnionFind returns a forest of n singletons.
 func NewUnionFind(n int) *UnionFind {
-	u := &UnionFind{parent: make([]int32, n), rank: make([]int8, n), count: n}
+	return NewUnionFindOn(nil, n)
+}
+
+// NewUnionFindOn is NewUnionFind with the arrays drawn from an arena (nil
+// is equivalent to NewUnionFind); release them with Free.
+func NewUnionFindOn(a *par.Arena, n int) *UnionFind {
+	u := &UnionFind{parent: a.Grab32(n), rank: a.Grab32(n), count: n}
 	for i := range u.parent {
 		u.parent[i] = int32(i)
 	}
 	return u
+}
+
+// Free returns the forest's arrays to the arena.  The forest must not be
+// used afterwards.
+func (u *UnionFind) Free(a *par.Arena) {
+	a.Release32(u.parent)
+	a.Release32(u.rank)
+	u.parent, u.rank = nil, nil
 }
 
 // Find returns the representative of x with path compression.
@@ -100,14 +139,25 @@ func (u *UnionFind) Count() int { return u.count }
 
 // UnionFindLabels labels components with a sequential union-find pass.
 func UnionFindLabels(g *graph.Graph) []int32 {
-	u := NewUnionFind(g.N)
+	return UnionFindLabelsInto(solve.New(nil), g, nil)
+}
+
+// UnionFindLabelsInto is UnionFindLabels with the forest drawn from the
+// context's arena and labels written into dst when it has the capacity.
+func UnionFindLabelsInto(cx *solve.Ctx, g *graph.Graph, dst []int32) []int32 {
+	u := NewUnionFindOn(cx.A, g.N)
 	for _, e := range g.Edges {
 		u.Union(e.U, e.V)
 	}
-	labels := make([]int32, g.N)
+	labels := dst
+	if cap(labels) < g.N {
+		labels = make([]int32, g.N)
+	}
+	labels = labels[:g.N]
 	for v := range labels {
 		labels[v] = u.Find(int32(v))
 	}
+	u.Free(cx.A)
 	return labels
 }
 
@@ -117,12 +167,19 @@ func UnionFindLabels(g *graph.Graph) []int32 {
 // unconditional star hooking, and a shortcut, each a full O(m+n)-work step,
 // for O(log n) rounds: Θ((m+n) log n) total work.
 func ShiloachVishkin(m *pram.Machine, g *graph.Graph) *labeled.Forest {
+	return ShiloachVishkinCtx(solve.New(m), g)
+}
+
+// ShiloachVishkinCtx is ShiloachVishkin on a solve context; the returned
+// forest comes from the arena (the caller frees it).
+func ShiloachVishkinCtx(cx *solve.Ctx, g *graph.Graph) *labeled.Forest {
+	m := cx.M
 	n := g.N
-	f := labeled.New(n)
+	f := labeled.NewOn(cx.A, n)
 	p := f.P
-	old := make([]int32, n) // pre-step snapshot: PRAM steps read old state
-	star := make([]int32, n)
-	tmp := make([]int32, n)
+	old := cx.Grab32(n) // pre-step snapshot: PRAM steps read old state
+	star := cx.Grab32(n)
+	tmp := cx.Grab32(n)
 	changed := []int32{1}
 	snapshot := func() {
 		m.For(n, func(v int) { old[v] = pram.Load32(p, v) })
@@ -165,6 +222,9 @@ func ShiloachVishkin(m *pram.Machine, g *graph.Graph) *labeled.Forest {
 		})
 		m.For(n, func(v int) { pram.Store32(p, v, tmp[v]) })
 	}
+	cx.Release32(old)
+	cx.Release32(star)
+	cx.Release32(tmp)
 	return f
 }
 
@@ -256,11 +316,17 @@ func computeStars(m *pram.Machine, p []int32, star []int32) {
 // flips a coin; head-roots hook onto adjacent tail-roots; then a shortcut.
 // O(log n) rounds w.h.p., full edge scans per round.
 func RandomMate(m *pram.Machine, g *graph.Graph, seed uint64) *labeled.Forest {
-	f := labeled.New(g.N)
+	return RandomMateCtx(solve.New(m), g, seed)
+}
+
+// RandomMateCtx is RandomMate on a solve context; the returned forest
+// comes from the arena (the caller frees it).
+func RandomMateCtx(cx *solve.Ctx, g *graph.Graph, seed uint64) *labeled.Forest {
+	m := cx.M
+	f := labeled.NewOn(cx.A, g.N)
 	p := f.P
-	E := make([]graph.Edge, len(g.Edges))
-	copy(E, g.Edges)
-	coin := make([]int32, g.N)
+	E := cx.CopyEdges(g.Edges)
+	coin := cx.Grab32(g.N)
 	round := int64(0)
 	for len(E) > 0 {
 		round++
@@ -287,33 +353,52 @@ func RandomMate(m *pram.Machine, g *graph.Graph, seed uint64) *labeled.Forest {
 		labeled.ShortcutAll(m, f)
 		E = labeled.Alter(m, f, E)
 	}
+	cx.Release32(coin)
+	cx.ReleaseEdges(E)
 	return f
 }
 
 // LabelProp runs synchronous minimum-label propagation until fixpoint:
 // Θ(diameter) rounds, full edge scans per round.  Returns labels directly.
 func LabelProp(m *pram.Machine, g *graph.Graph) []int32 {
+	return LabelPropInto(solve.New(m), g, nil)
+}
+
+// LabelPropInto is LabelProp on a solve context, writing into dst when it
+// has the capacity.
+func LabelPropInto(cx *solve.Ctx, g *graph.Graph, dst []int32) []int32 {
+	m := cx.M
 	n := g.N
-	lab := make([]int32, n)
+	lab := dst
+	if cap(lab) < n {
+		lab = make([]int32, n)
+	}
+	lab = lab[:n]
 	m.Iota32(lab)
-	lab64 := make([]int64, n)
+	lab64 := cx.Grab64(n)
 	changed := []int32{1}
+	// Hoisted round bodies: the rounds share three closures instead of
+	// allocating three per round.
+	snap := func(v int) { lab64[v] = int64(lab[v]) }
+	relax := func(i int) {
+		e := g.Edges[i]
+		pram.Min64(lab64, int(e.U), int64(lab[e.V]))
+		pram.Min64(lab64, int(e.V), int64(lab[e.U]))
+	}
+	commit := func(v int) {
+		nv := int32(lab64[v])
+		if nv != lab[v] {
+			lab[v] = nv
+			pram.SetFlag(changed, 0)
+		}
+	}
 	for changed[0] != 0 {
 		changed[0] = 0
-		m.For(n, func(v int) { lab64[v] = int64(lab[v]) })
-		m.For(len(g.Edges), func(i int) {
-			e := g.Edges[i]
-			pram.Min64(lab64, int(e.U), int64(lab[e.V]))
-			pram.Min64(lab64, int(e.V), int64(lab[e.U]))
-		})
-		m.For(n, func(v int) {
-			nv := int32(lab64[v])
-			if nv != lab[v] {
-				lab[v] = nv
-				pram.SetFlag(changed, 0)
-			}
-		})
+		m.For(n, snap)
+		m.For(len(g.Edges), relax)
+		m.For(n, commit)
 	}
+	cx.Release64(lab64)
 	return lab
 }
 
@@ -325,55 +410,74 @@ func LabelProp(m *pram.Machine, g *graph.Graph) []int32 {
 // measured.  Frontier compaction per round uses the approximate-compaction
 // contract like the rest of the codebase.
 func ParallelBFS(m *pram.Machine, g *graph.Graph) []int32 {
+	return ParallelBFSInto(solve.New(m), g, nil)
+}
+
+// ParallelBFSInto is ParallelBFS against the context's cached CSR plan,
+// with the frontier machinery drawn from the arena and labels written into
+// dst when it has the capacity.
+func ParallelBFSInto(cx *solve.Ctx, g *graph.Graph, dst []int32) []int32 {
+	m := cx.M
 	n := g.N
-	csr := graph.BuildCSR(g)
-	labels := make([]int32, n)
+	csr := cx.Plan(g).CSR
+	labels := dst
+	if cap(labels) < n {
+		labels = make([]int32, n)
+	}
+	labels = labels[:n]
 	m.For(n, func(v int) { labels[v] = int32(v) })
-	next := make([]int32, n)
-	m.For(n, func(v int) { next[v] = int32(v) })
 	// Every vertex is initially its own frontier; a vertex adopts the
 	// smallest label seen among its neighbors' waves.  Rather than running
 	// one BFS per component sequentially (which would charge Σd rounds),
 	// all components proceed in parallel: per round, every frontier vertex
 	// relaxes its edges once.
-	frontier := make([]int32, n)
+	frontier := cx.Grab32(n)
 	m.Iota32(frontier)
-	lab64 := make([]int64, n)
+	lab64 := cx.Grab64(n)
+	inNf := cx.Grab32(n) // membership of the next frontier (uncharged dedup)
+	// Hoisted round bodies (closures capture the frontier/nf variables, so
+	// reassigning them between rounds is visible inside).
+	var nf []int32
+	snap := func(i int) {
+		v := frontier[i]
+		pram.Store64(lab64, int(v), int64(labels[v]))
+	}
+	relax := func(i int) {
+		v := frontier[i]
+		lv := int64(labels[v])
+		for _, w := range csr.Neighbors(v) {
+			pram.Min64(lab64, int(w), lv)
+		}
+	}
+	advance := func() {
+		for _, v := range frontier {
+			for _, w := range csr.Neighbors(v) {
+				if int32(lab64[w]) < labels[w] && inNf[w] == 0 {
+					inNf[w] = 1
+					nf = append(nf, w)
+				}
+			}
+		}
+		for _, w := range nf {
+			labels[w] = int32(lab64[w])
+			inNf[w] = 0
+		}
+	}
 	for len(frontier) > 0 {
-		m.ForWork(len(frontier), int64(len(frontier)), func(i int) {
-			v := frontier[i]
-			pram.Store64(lab64, int(v), int64(labels[v]))
-		})
+		m.ForWork(len(frontier), int64(len(frontier)), snap)
 		var relaxWork int64
 		for _, v := range frontier {
 			relaxWork += int64(csr.Deg(v))
 		}
-		m.ForWork(len(frontier), relaxWork, func(i int) {
-			v := frontier[i]
-			lv := int64(labels[v])
-			for _, w := range csr.Neighbors(v) {
-				pram.Min64(lab64, int(w), lv)
-			}
-		})
+		m.ForWork(len(frontier), relaxWork, relax)
 		// Next frontier: vertices whose label improved.
-		var nf []int32
-		m.Contract(prim.LogStar(n)+1, int64(len(frontier)), func() {
-			seen := map[int32]struct{}{}
-			for _, v := range frontier {
-				for _, w := range csr.Neighbors(v) {
-					if int32(lab64[w]) < labels[w] {
-						if _, ok := seen[w]; !ok {
-							seen[w] = struct{}{}
-							nf = append(nf, w)
-						}
-					}
-				}
-			}
-			for _, w := range nf {
-				labels[w] = int32(lab64[w])
-			}
-		})
+		nf = cx.Grab32Cap(n)
+		m.Contract(prim.LogStar(n)+1, int64(len(frontier)), advance)
+		cx.Release32(frontier)
 		frontier = nf
 	}
+	cx.Release32(frontier)
+	cx.Release32(inNf)
+	cx.Release64(lab64)
 	return labels
 }

@@ -185,6 +185,7 @@ func All() []Experiment {
 		{"E16", "ablation: FILTER deletion probability (§4.2)", E16FilterDeletion},
 		{"E17", "ablation: EXPAND-MAXLINK budgets (§5.2)", E17BudgetGrid},
 		{"SP", "concurrent backend self-speedup T1/TP (internal/par)", SPSelfSpeedup},
+		{"QPS", "repeated-solve throughput: one-shot vs Solver session", QPSSessionReuse},
 	}
 }
 

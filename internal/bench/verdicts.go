@@ -78,4 +78,13 @@ var Verdicts = map[string]string{
 		"wall-clock floor the synchronous algorithms are measured against. On a " +
 		"single-CPU host T1/TP honestly reports ≈1.0x — goroutines timeshare one " +
 		"core — and the table says so in its footnote.",
+	"QPS": "Engineering measurement, not a paper claim. Session reuse (parcc.Solver) " +
+		"amortizes the goroutine pool, PRAM machine, scratch arena, and cached CSR " +
+		"plan across solves: the serving baselines drop to ~zero steady-state " +
+		"allocations (union-find 13×, bfs 19× fewer allocs/op than one-shot in the " +
+		"small-scale run, bfs ~4× higher throughput because the plan cache removes " +
+		"the per-call CSR rebuild).  The charged PRAM algorithms keep one closure " +
+		"allocation per charged loop by construction, so their session gain is " +
+		"bounded — arena reuse trims allocs ~5–10% and the pool/machine reuse shows " +
+		"up at smaller instances where per-call setup is a visible fraction.",
 }

@@ -7,6 +7,7 @@ import (
 	"parcc/internal/graph/gen"
 	"parcc/internal/par"
 	"parcc/internal/pram"
+	"parcc/internal/solve"
 )
 
 // TestConnectivityOnParRuntime runs the full CONNECTIVITY driver with its
@@ -53,7 +54,7 @@ func TestVertexSetListDeterministicSorted(t *testing.T) {
 	E := []graph.Edge{{U: 9, V: 2}, {U: 5, V: 9}, {U: 0, V: 7}, {U: 2, V: 5}}
 	check := func(m *pram.Machine) {
 		t.Helper()
-		got := vertexSetList(m, 12, E)
+		got := solve.VertexSet(solve.New(m), 12, E)
 		want := []int32{0, 2, 5, 7, 9}
 		if len(got) != len(want) {
 			t.Fatalf("got %v", got)

@@ -2,15 +2,14 @@ package core
 
 import (
 	"fmt"
-	"sort"
 	"time"
 
 	"parcc/internal/graph"
 	"parcc/internal/labeled"
 	"parcc/internal/ltz"
-	"parcc/internal/par"
 	"parcc/internal/pram"
 	"parcc/internal/prim"
+	"parcc/internal/solve"
 	"parcc/internal/stage1"
 	"parcc/internal/stage2"
 	"parcc/internal/stage3"
@@ -36,18 +35,28 @@ type Result struct {
 // REMAIN pass (and, under clamped practical parameters, a final backstop of
 // the same kind) completes any component the sampled subgraphs missed.
 func Connectivity(m *pram.Machine, g *graph.Graph, p Params) *Result {
+	return ConnectivityOn(solve.New(m), g, p, nil)
+}
+
+// ConnectivityOn is Connectivity against a solve context: the forest, the
+// Stage-1 scratch, the auxiliary array, and the per-phase working sets are
+// borrowed from the context's arena, and the labels are written into dst
+// when it has the capacity.  One-shot calls (nil arena) behave exactly
+// like the original allocation pattern.
+func ConnectivityOn(cx *solve.Ctx, g *graph.Graph, p Params, dst []int32) *Result {
+	m := cx.M
 	start := time.Now()
 	res := &Result{}
-	f := labeled.New(g.N)
+	f := labeled.NewOn(cx.A, g.N)
 	m.ResetMarks()
 
 	// Step 1 is New's initialization (v.p = v).
 	// Step 2: REDUCE — contract to n/poly(log n) vertices (skipped only by
 	// the E12 ablation profile).
-	s1 := stage1.NewRunner(m, f, p.Stage1)
+	s1 := stage1.NewRunnerOn(cx, f, p.Stage1)
 	var red stage1.Result
 	if p.SkipStage1 {
-		red = stage1.Result{Edges: append([]graph.Edge(nil), g.Edges...)}
+		red = stage1.Result{Edges: cx.CopyEdges(g.Edges)}
 		red.Roots = make([]int32, g.N)
 		m.Iota32(red.Roots)
 	} else {
@@ -58,12 +67,12 @@ func Connectivity(m *pram.Machine, g *graph.Graph, p Params) *Result {
 	roots := red.Roots
 
 	// Auxiliary array over E(G′) (§7.4.1).
-	aux := stage2.BuildAux(m, g.N, Gp)
+	aux := stage2.BuildAuxOn(cx, g.N, Gp)
 
 	// Step 3: pre-sample H₁ and H₂ with independent randomness.
-	H1 := make([]graph.Edge, 0, len(Gp)/4+4)
+	H1 := cx.GrabEdgesCap(len(Gp)/4 + 4)
 	h1mask := make([]bool, len(Gp))
-	H2 := make([]graph.Edge, 0, len(Gp)/4+4)
+	H2 := cx.GrabEdgesCap(len(Gp)/4 + 4)
 	m.Contract(1, int64(2*len(Gp)), func() {
 		for i, e := range Gp {
 			if pram.SplitMix64(p.Seed^0x11^uint64(i)*0x9e3779b97f4a7c15) < p.SampleP64 {
@@ -79,14 +88,14 @@ func Connectivity(m *pram.Machine, g *graph.Graph, p Params) *Result {
 	m.SetMark("presample")
 
 	// Step 4: E_filter = copy of E(G′).
-	Efilter := append([]graph.Edge(nil), Gp...)
+	Efilter := cx.CopyEdges(Gp)
 
 	// Step 5: the phase loop.
 	done := false
 	for i := 0; i < p.MaxPhases; i++ {
 		stepsBefore := m.Steps()
 		var finished bool
-		Efilter, H1, finished = interweave(m, f, s1, phaseEnv{
+		Efilter, H1, finished = interweave(cx, f, s1, phaseEnv{
 			p: p, phase: i, roots: roots, aux: aux,
 			Gp: Gp, h1mask: h1mask,
 		}, Efilter, H1, H2)
@@ -109,17 +118,24 @@ func Connectivity(m *pram.Machine, g *graph.Graph, p Params) *Result {
 	// phase loop finished the work).
 	labeled.FlattenAll(m, f)
 	if !done {
-		res.UsedBackstop = backstop(m, f, Gp, p)
+		res.UsedBackstop = backstop(cx, f, Gp, p)
 		labeled.FlattenAll(m, f)
 	}
 	m.SetMark("finish")
 
-	res.Labels = labeled.LabelsOn(m.Exec(), f)
-	res.NumComponents = graph.NumLabels(res.Labels)
+	res.Labels = labeled.LabelsOnInto(m.Exec(), f, dst)
+	res.NumComponents = solve.NumLabels(cx, res.Labels, g.N)
 	res.Steps = m.Steps()
 	res.Work = m.Work()
 	res.Elapsed = time.Since(start)
 	res.Breakdown = m.Marks()
+	s1.Free()
+	aux.Free(cx)
+	cx.ReleaseEdges(Gp)
+	cx.ReleaseEdges(H2)
+	cx.ReleaseEdges(H1)
+	cx.ReleaseEdges(Efilter)
+	f.Free()
 	return res
 }
 
@@ -136,7 +152,8 @@ type phaseEnv struct {
 // interweave runs INTERWEAVE(G′,H₁,H₂,E_filter,i) (§7.1).  It returns the
 // updated E_filter and H₁ and whether the phase finished the computation
 // (Step 4 fired and REMAIN completed the components).
-func interweave(m *pram.Machine, f *labeled.Forest, s1 *stage1.Runner, env phaseEnv, Efilter, H1, H2 []graph.Edge) (ef, h1 []graph.Edge, finished bool) {
+func interweave(cx *solve.Ctx, f *labeled.Forest, s1 *stage1.Runner, env phaseEnv, Efilter, H1, H2 []graph.Edge) (ef, h1 []graph.Edge, finished bool) {
+	m := cx.M
 	p := env.p
 
 	// Step 1: b for this phase.
@@ -157,36 +174,47 @@ func interweave(m *pram.Machine, f *labeled.Forest, s1 *stage1.Runner, env phase
 	}
 
 	// Snapshot for the Step-5 revert: parents of V(G′) and the H₁ edges.
-	snapP := f.SnapshotOf(env.roots)
-	snapH1 := append([]graph.Edge(nil), H1...)
+	snapP := cx.Grab32(len(env.roots))
+	f.SnapshotOfInto(env.roots, snapP)
+	snapH1 := cx.CopyEdges(H1)
 
 	// Active roots: roots of V(G′) that still carry a non-loop edge in any
 	// live edge set (fully contracted components have none and are ignored
 	// per the discussion after Definition 7.2).
-	active := activeRoots(m, f, env.roots, Efilter, H1, H2)
+	active := activeRoots(cx, f, env.roots, Efilter, H1, H2)
 
 	if len(active) > 0 {
 		// Step 2: INCREASE(G′,H₁,H₂,b) — sparse skeleton + densify + heads.
-		H1, _ = stage2.IncreaseSparse(m, f, active, env.aux, H1, H2, s2p)
+		H1, _ = stage2.IncreaseSparseOn(cx, f, active, env.aux, H1, H2, s2p)
 
 		// Step 3: 20·log b rounds of EXPAND-MAXLINK on H₁, then Theorem-2
 		// rounds, then ALTER(H₁).
 		lp := p.LTZ
 		lp.Seed ^= uint64(env.phase) * 0x9e37
-		st := ltz.NewState(m, f, active, H1, lp)
+		st := ltz.NewStateOn(cx, f, active, H1, lp)
 		st.Run(p.H1Rounds * int(prim.Log2Ceil(b+1)))
 		st.Run(p.H1Rounds * int(prim.LogLog(f.Len()+4)))
-		H1 = labeled.Alter(m, f, st.CurrentEdges())
+		eh := labeled.Alter(m, f, st.CurrentEdges())
+		cx.ReleaseEdges(H1) // pre-Step-3 backing, already copied into st
+		H1 = eh
+		done := st.Done()
+		st.Free()
 
 		// Step 4: if H₁ is fully contracted, REMAIN finishes G′.
-		if len(H1) == 0 && st.Done() {
-			remain(m, f, env, p)
+		if len(H1) == 0 && done {
+			remain(cx, f, env, p)
+			cx.Release32(snapP)
+			cx.ReleaseEdges(snapH1)
+			cx.ReleaseEdges(H1)
+			cx.ReleaseEdges(Efilter) // the phase loop ends here; recycle it
 			return nil, nil, true
 		}
 	}
 
 	// Step 5: revert the labeled digraph and H₁ to their Step-1 state.
 	f.RestoreOf(env.roots, snapP)
+	cx.Release32(snapP)
+	cx.ReleaseEdges(H1) // superseded by the snapshot (exclusive backing)
 	H1 = snapH1
 
 	// Step 6: matching rounds on E_filter with random deletions.
@@ -208,11 +236,12 @@ func interweave(m *pram.Machine, f *labeled.Forest, s1 *stage1.Runner, env phase
 
 	// Step 8: E′ = original G′ edges whose endpoint-parent left V(E_filter),
 	// gathered from the auxiliary array; then ALTER(E′).
-	inFilter := markVertexSet(m, f.Len(), Efilter)
+	inFilter := markVertexSet(cx, f.Len(), Efilter)
 	Ep := env.aux.Gather(m, func(u int32) bool {
 		pu := f.P[u]
 		return inFilter[pu] == 0
 	})
+	cx.Release32(inFilter)
 	Ep = labeled.Alter(m, f, Ep)
 
 	// Step 9: matching + shortcut rounds on E′.
@@ -226,7 +255,7 @@ func interweave(m *pram.Machine, f *labeled.Forest, s1 *stage1.Runner, env phase
 	}
 
 	// Step 10: REVERSE(V(E_filter), E(H₂)).
-	Vf := vertexSetList(m, f.Len(), Efilter)
+	Vf := solve.VertexSet(cx, f.Len(), Efilter)
 	stage1.Reverse(m, f, Vf, H2)
 
 	return Efilter, H1, false
@@ -235,7 +264,8 @@ func interweave(m *pram.Machine, f *labeled.Forest, s1 *stage1.Runner, env phase
 // remain runs REMAIN(G′,H₁) (§7.1): the components of H₁ are all
 // contracted; the sampling lemma of [KKT95] bounds the edges of G′ crossing
 // them by O(|V(G′)|/p), so one Theorem-2 run on E(G′)\E(H₁) finishes.
-func remain(m *pram.Machine, f *labeled.Forest, env phaseEnv, p Params) {
+func remain(cx *solve.Ctx, f *labeled.Forest, env phaseEnv, p Params) {
+	m := cx.M
 	// Step 1–2: E_remain = E(G′) \ E(H₁), altered to current parents.
 	Er := stage2.EdgesNotIn(m, env.Gp, env.h1mask)
 	Er = labeled.Alter(m, f, Er)
@@ -255,7 +285,7 @@ func remain(m *pram.Machine, f *labeled.Forest, env phaseEnv, p Params) {
 	}
 	// Step 4: Theorem 2.
 	if len(Er) > 0 {
-		ltz.SolveOn(m, f, vertexSetList(m, f.Len(), Er), Er, p.LTZ)
+		ltz.SolveOnCtx(cx, f, solve.VertexSet(cx, f.Len(), Er), Er, p.LTZ)
 	}
 }
 
@@ -263,19 +293,23 @@ func remain(m *pram.Machine, f *labeled.Forest, env phaseEnv, p Params) {
 // exhausts its budget under clamped practical parameters.  It is the same
 // mechanism as REMAIN applied to all remaining non-loop edges of G′; under
 // the paper's parameters it is provably never needed.
-func backstop(m *pram.Machine, f *labeled.Forest, Gp []graph.Edge, p Params) bool {
-	E := append([]graph.Edge(nil), Gp...)
+func backstop(cx *solve.Ctx, f *labeled.Forest, Gp []graph.Edge, p Params) bool {
+	m := cx.M
+	E := cx.CopyEdges(Gp)
 	E = labeled.Alter(m, f, E)
 	if len(E) == 0 {
+		cx.ReleaseEdges(E)
 		return false
 	}
-	ltz.SolveOn(m, f, vertexSetList(m, f.Len(), E), E, p.LTZ)
+	ltz.SolveOnCtx(cx, f, solve.VertexSet(cx, f.Len(), E), E, p.LTZ)
+	cx.ReleaseEdges(E)
 	return true
 }
 
 // activeRoots flags roots of V(G′) adjacent to any live non-loop edge.
-func activeRoots(m *pram.Machine, f *labeled.Forest, roots []int32, sets ...[]graph.Edge) []int32 {
-	flag := make([]int32, f.Len())
+func activeRoots(cx *solve.Ctx, f *labeled.Forest, roots []int32, sets ...[]graph.Edge) []int32 {
+	m := cx.M
+	flag := cx.Grab32(f.Len())
 	for _, E := range sets {
 		m.For(len(E), func(i int) {
 			e := E[i]
@@ -293,6 +327,7 @@ func activeRoots(m *pram.Machine, f *labeled.Forest, roots []int32, sets ...[]gr
 			}
 		}
 	})
+	cx.Release32(flag)
 	return out
 }
 
@@ -322,59 +357,14 @@ func deleteEdges(m *pram.Machine, E []graph.Edge, p64 uint64, seed uint64) []gra
 	return out
 }
 
-func markVertexSet(m *pram.Machine, n int, E []graph.Edge) []int32 {
-	flag := make([]int32, n)
+func markVertexSet(cx *solve.Ctx, n int, E []graph.Edge) []int32 {
+	m := cx.M
+	flag := cx.Grab32(n)
 	m.For(len(E), func(i int) {
 		pram.SetFlag(flag, int(E[i].U))
 		pram.SetFlag(flag, int(E[i].V))
 	})
 	return flag
-}
-
-// vertexSetList returns the distinct endpoints of E in increasing order.
-// (An earlier revision collected them from a map, whose iteration order made
-// the vertex list — and thus downstream tie-breaks — nondeterministic even
-// in sequential mode.)  The actual work tracks the charged O(|E|) instead
-// of O(n): a flag-array sweep runs only when the edge set is dense enough
-// that O(n) = O(|E|); sparse edge sets take a sort-dedup of the 2|E|
-// endpoints — O(|E| log |E|), whose log factor is uncharged, like the other
-// sort-backed contracts in internal/prim.  Both paths yield the same sorted
-// list.
-func vertexSetList(m *pram.Machine, n int, E []graph.Edge) []int32 {
-	var out []int32
-	m.Contract(prim.LogStar(n)+1, int64(len(E)), func() {
-		if 16*len(E) >= n {
-			flag := make([]int32, n)
-			if e := m.Exec(); e != nil {
-				e.Run(len(E), func(i int) {
-					pram.SetFlag(flag, int(E[i].U))
-					pram.SetFlag(flag, int(E[i].V))
-				})
-				out = par.CompactIndices(e, n, func(v int) bool { return flag[v] != 0 })
-				return
-			}
-			for _, ed := range E {
-				flag[ed.U], flag[ed.V] = 1, 1
-			}
-			for v := 0; v < n; v++ {
-				if flag[v] != 0 {
-					out = append(out, int32(v))
-				}
-			}
-			return
-		}
-		ends := make([]int32, 0, 2*len(E))
-		for _, ed := range E {
-			ends = append(ends, ed.U, ed.V)
-		}
-		sort.Slice(ends, func(i, j int) bool { return ends[i] < ends[j] })
-		for i, v := range ends {
-			if i == 0 || ends[i-1] != v {
-				out = append(out, v)
-			}
-		}
-	})
-	return out
 }
 
 // SolveKnownGap runs the three-stage pipeline of §§4–6 (Theorem 3) with a
@@ -383,42 +373,49 @@ func vertexSetList(m *pram.Machine, n int, E []graph.Edge) []int32 {
 // input regardless of the promise, because SAMPLESOLVE's Theorem-2 call is
 // followed by the same backstop cleanup CONNECTIVITY uses.
 func SolveKnownGap(m *pram.Machine, g *graph.Graph, b int, p Params) *Result {
+	return SolveKnownGapOn(solve.New(m), g, b, p, nil)
+}
+
+// SolveKnownGapOn is SolveKnownGap against a solve context (see
+// ConnectivityOn).
+func SolveKnownGapOn(cx *solve.Ctx, g *graph.Graph, b int, p Params, dst []int32) *Result {
+	m := cx.M
 	start := time.Now()
-	f := labeled.New(g.N)
+	f := labeled.NewOn(cx.A, g.N)
 	m.ResetMarks()
 
 	// Stage 1: REDUCE.
-	s1 := stage1.NewRunner(m, f, p.Stage1)
+	s1 := stage1.NewRunnerOn(cx, f, p.Stage1)
 	red := s1.Reduce(g)
 	m.SetMark("stage1-reduce")
 
 	// Stage 2: INCREASE to min degree b.
 	s2p := stage2.DefaultParams(g.N, b)
 	s2p.LTZ = p.LTZ
-	E := append([]graph.Edge(nil), red.Edges...)
+	E := cx.CopyEdges(red.Edges)
 	if len(E) > 0 {
-		stage2.Increase(m, f, red.Roots, E, s2p)
+		stage2.IncreaseOn(cx, f, red.Roots, E, s2p)
 	}
 	m.SetMark("stage2-increase")
 
 	// Stage 3: SAMPLESOLVE on the current graph.
-	active := activeRoots(m, f, red.Roots, E)
+	active := activeRoots(cx, f, red.Roots, E)
 	if len(active) > 0 {
 		E = labeled.Alter(m, f, E)
-		stage3.SampleSolve(m, f, active, E, p.Stage3)
+		stage3.SampleSolveOn(cx, f, active, E, p.Stage3)
 	}
 	m.SetMark("stage3-samplesolve")
 
 	// Backstop for sampling losses (the §3.4 corner case / KKT cleanup).
 	labeled.FlattenAll(m, f)
-	usedBackstop := backstop(m, f, red.Edges, p)
+	usedBackstop := backstop(cx, f, red.Edges, p)
 	labeled.FlattenAll(m, f)
 	m.SetMark("backstop")
 
-	labels := labeled.LabelsOn(m.Exec(), f)
-	return &Result{
+	labels := labeled.LabelsOnInto(m.Exec(), f, dst)
+	res := &Result{
 		Labels:        labels,
-		NumComponents: graph.NumLabels(labels),
+		NumComponents: solve.NumLabels(cx, labels, g.N),
 		Steps:         m.Steps(),
 		Work:          m.Work(),
 		Elapsed:       time.Since(start),
@@ -426,4 +423,9 @@ func SolveKnownGap(m *pram.Machine, g *graph.Graph, b int, p Params) *Result {
 		UsedBackstop:  usedBackstop,
 		Breakdown:     m.Marks(),
 	}
+	s1.Free()
+	cx.ReleaseEdges(E)
+	cx.ReleaseEdges(red.Edges)
+	f.Free()
+	return res
 }

@@ -7,6 +7,7 @@ import (
 	"parcc/internal/graph/gen"
 	"parcc/internal/labeled"
 	"parcc/internal/pram"
+	"parcc/internal/solve"
 )
 
 func TestActiveRootsFlagsLiveEdgesOnly(t *testing.T) {
@@ -19,7 +20,7 @@ func TestActiveRootsFlagsLiveEdgesOnly(t *testing.T) {
 		{{U: 0, V: 2}},
 		{{U: 3, V: 3}},
 	}
-	got := activeRoots(m, f, roots, sets...)
+	got := activeRoots(solve.New(m), f, roots, sets...)
 	want := map[int32]bool{0: true, 2: true}
 	if len(got) != len(want) {
 		t.Fatalf("active roots = %v", got)
@@ -37,7 +38,7 @@ func TestActiveRootsResolvesParents(t *testing.T) {
 	f := labeled.New(4)
 	f.P[1] = 0
 	f.P[3] = 2
-	got := activeRoots(m, f, []int32{0, 2}, []graph.Edge{{U: 1, V: 3}})
+	got := activeRoots(solve.New(m), f, []int32{0, 2}, []graph.Edge{{U: 1, V: 3}})
 	if len(got) != 2 {
 		t.Fatalf("active roots = %v, want the two parents", got)
 	}
@@ -46,13 +47,13 @@ func TestActiveRootsResolvesParents(t *testing.T) {
 func TestMarkVertexSetAndList(t *testing.T) {
 	m := pram.New()
 	E := []graph.Edge{{U: 1, V: 2}, {U: 2, V: 4}}
-	flags := markVertexSet(m, 6, E)
+	flags := markVertexSet(solve.New(m), 6, E)
 	for v, want := range map[int]bool{0: false, 1: true, 2: true, 3: false, 4: true} {
 		if (flags[v] != 0) != want {
 			t.Fatalf("flag[%d] = %d", v, flags[v])
 		}
 	}
-	list := vertexSetList(m, 6, E)
+	list := solve.VertexSet(solve.New(m), 6, E)
 	if len(list) != 3 {
 		t.Fatalf("vertex list = %v", list)
 	}
@@ -84,12 +85,12 @@ func TestBackstopNoopWhenDone(t *testing.T) {
 	for v := 1; v < g.N; v++ {
 		f.P[v] = 0
 	}
-	if backstop(m, f, g.Edges, Default(g.N)) {
+	if backstop(solve.New(m), f, g.Edges, Default(g.N)) {
 		t.Fatal("backstop should be a no-op on a finished instance")
 	}
 	// and must act when edges remain
 	f2 := labeled.New(g.N)
-	if !backstop(m, f2, g.Edges, Default(g.N)) {
+	if !backstop(solve.New(m), f2, g.Edges, Default(g.N)) {
 		t.Fatal("backstop should engage on a fresh instance")
 	}
 	labeled.FlattenAll(m, f2)

@@ -134,6 +134,9 @@ func BuildCSR(g *Graph) *CSR {
 }
 
 // Simplify returns a copy of g with self-loops and parallel edges removed.
+// The dedup key is canonical in the endpoint order — (u,v) and (v,u) are
+// the same undirected edge, so the smaller endpoint goes in the high word —
+// and output edges are emitted in that canonical orientation.
 func Simplify(g *Graph) *Graph {
 	seen := make(map[int64]struct{}, len(g.Edges))
 	out := New(g.N)

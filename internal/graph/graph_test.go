@@ -92,6 +92,37 @@ func TestSimplify(t *testing.T) {
 	}
 }
 
+// TestSimplifyReversedParallelEdges is the regression test for the dedup
+// key: parallel edges recorded in opposite orientations must collapse to
+// one edge, including at vertex ids large enough to exercise the packed
+// key's word boundaries.
+func TestSimplifyReversedParallelEdges(t *testing.T) {
+	n := 1 << 21
+	big := n - 1
+	g := FromPairs(n, [][2]int{
+		{3, 9}, {9, 3}, {9, 3}, {3, 9},
+		{0, big}, {big, 0},
+		{big - 1, big}, {big, big - 1},
+		{7, 7}, // loop mixed in
+	})
+	s := Simplify(g)
+	if s.M() != 3 {
+		t.Fatalf("simplified m=%d, want 3 (reversed parallels must merge): %v", s.M(), s.Edges)
+	}
+	seen := map[[2]int32]bool{}
+	for _, e := range s.Edges {
+		if e.U >= e.V {
+			t.Fatalf("edge (%d,%d) not canonically oriented", e.U, e.V)
+		}
+		seen[[2]int32{e.U, e.V}] = true
+	}
+	for _, want := range [][2]int32{{3, 9}, {0, int32(big)}, {int32(big) - 1, int32(big)}} {
+		if !seen[want] {
+			t.Fatalf("missing edge %v in %v", want, s.Edges)
+		}
+	}
+}
+
 func TestEdgeListRoundTrip(t *testing.T) {
 	g := FromPairs(6, [][2]int{{0, 1}, {2, 3}, {4, 4}, {5, 0}})
 	var buf bytes.Buffer

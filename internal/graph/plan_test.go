@@ -1,0 +1,98 @@
+package graph_test
+
+import (
+	"testing"
+
+	"parcc/internal/graph"
+	"parcc/internal/par"
+	"parcc/internal/pram"
+)
+
+func randomGraph(n, m int, seed uint64) *graph.Graph {
+	g := graph.New(n)
+	s := seed
+	for i := 0; i < m; i++ {
+		s = pram.SplitMix64(s)
+		u := int(s % uint64(n))
+		s = pram.SplitMix64(s)
+		v := int(s % uint64(n))
+		g.AddEdge(u, v)
+	}
+	return g
+}
+
+// TestBuildCSROnMatchesSequential is the layout-determinism contract: the
+// parallel counting-sort build must produce byte-identical Off and Nbr to
+// the sequential builder, for any parallelism degree.
+func TestBuildCSROnMatchesSequential(t *testing.T) {
+	g := randomGraph(500, 20000, 42) // above the parallel cutoff
+	want := graph.BuildCSR(g)
+	for _, procs := range []int{2, 3, 8} {
+		rt := par.New(par.Procs(procs))
+		got := graph.BuildCSROn(rt, g)
+		rt.Close()
+		if len(got.Off) != len(want.Off) || len(got.Nbr) != len(want.Nbr) {
+			t.Fatalf("procs=%d: size mismatch", procs)
+		}
+		for i := range want.Off {
+			if got.Off[i] != want.Off[i] {
+				t.Fatalf("procs=%d: Off[%d] = %d, want %d", procs, i, got.Off[i], want.Off[i])
+			}
+		}
+		for i := range want.Nbr {
+			if got.Nbr[i] != want.Nbr[i] {
+				t.Fatalf("procs=%d: Nbr[%d] = %d, want %d (layout must match sequential exactly)",
+					procs, i, got.Nbr[i], want.Nbr[i])
+			}
+		}
+	}
+}
+
+func TestPlanDegreeStats(t *testing.T) {
+	g := graph.FromPairs(5, [][2]int{{0, 1}, {1, 2}, {2, 2}, {1, 3}})
+	p := graph.NewPlan(g)
+	// Degrees: 0:1, 1:3, 2:2 (loop counts once), 3:1, 4:0.
+	if p.MinDeg != 0 || p.MaxDeg != 3 {
+		t.Errorf("MinDeg=%d MaxDeg=%d, want 0,3", p.MinDeg, p.MaxDeg)
+	}
+	want := g.Degrees()
+	got := p.Degrees()
+	for v := range want {
+		if got[v] != want[v] {
+			t.Errorf("deg[%d] = %d, want %d", v, got[v], want[v])
+		}
+		if p.Degree(int32(v)) != int(want[v]) {
+			t.Errorf("Degree(%d) = %d, want %d", v, p.Degree(int32(v)), want[v])
+		}
+	}
+	if !p.Valid() {
+		t.Error("fresh plan must be valid")
+	}
+	g.AddEdge(0, 4)
+	if p.Valid() {
+		t.Error("plan must detect appended edges as staleness")
+	}
+}
+
+// TestPlanDetectsInPlaceMutation: rewriting an edge without changing the
+// edge count must also invalidate the plan (the fingerprint, not just the
+// length, is checked) — otherwise a warm Solver would serve labels from a
+// stale adjacency.
+func TestPlanDetectsInPlaceMutation(t *testing.T) {
+	g := graph.FromPairs(4, [][2]int{{0, 1}, {2, 3}})
+	p := graph.NewPlan(g)
+	if !p.Valid() {
+		t.Fatal("fresh plan must be valid")
+	}
+	g.Edges[1] = graph.Edge{U: 1, V: 2}
+	if p.Valid() {
+		t.Error("plan must detect in-place edge mutation as staleness")
+	}
+}
+
+func TestPlanEmptyGraph(t *testing.T) {
+	p := graph.NewPlan(graph.New(0))
+	if p.MinDeg != 0 || p.MaxDeg != 0 || !p.Valid() {
+		t.Error("empty graph plan")
+	}
+}

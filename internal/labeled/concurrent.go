@@ -12,10 +12,21 @@ import (
 // costs.  A nil executor falls back to the sequential memoized chase.  The
 // forest itself is not mutated.
 func LabelsOn(e pram.Executor, f *Forest) []int32 {
+	return LabelsOnInto(e, f, nil)
+}
+
+// LabelsOnInto is LabelsOn writing into dst when it has the capacity — the
+// zero-alloc serving path of Solver.SolveInto.  A short dst is replaced by
+// a fresh array.
+func LabelsOnInto(e pram.Executor, f *Forest, dst []int32) []int32 {
 	if e == nil || e.Procs() == 1 {
-		return f.Labels()
+		return f.LabelsInto(dst)
 	}
-	out := make([]int32, len(f.P))
+	out := dst
+	if cap(out) < len(f.P) {
+		out = make([]int32, len(f.P))
+	}
+	out = out[:len(f.P)]
 	e.Run(len(out), func(v int) { out[v] = f.P[v] })
 	par.Compress(e, out)
 	return out

@@ -19,16 +19,37 @@ import (
 // Forest is the labeled digraph: P[v] is the parent of v.
 type Forest struct {
 	P   []int32
-	tmp []int32 // scratch for synchronous shortcuts
+	tmp []int32    // scratch for synchronous shortcuts
+	ar  *par.Arena // optional arena backing P and tmp (session solves)
 }
 
 // New returns the initial forest where every vertex is its own parent.
 func New(n int) *Forest {
-	f := &Forest{P: make([]int32, n)}
+	return NewOn(nil, n)
+}
+
+// NewOn is New with the parent array (and shortcut scratch) drawn from an
+// arena, for session solves; release with Free when the solve is done.  A
+// nil arena is equivalent to New.
+func NewOn(a *par.Arena, n int) *Forest {
+	f := &Forest{P: a.Grab32(n), ar: a}
 	for i := range f.P {
 		f.P[i] = int32(i)
 	}
 	return f
+}
+
+// Free returns the forest's buffers to the arena it was built on (no-op
+// for plain New forests).  The forest must not be used afterwards.
+func (f *Forest) Free() {
+	if f.ar == nil {
+		return
+	}
+	f.ar.Release32(f.P)
+	if f.tmp != nil {
+		f.ar.Release32(f.tmp)
+	}
+	f.P, f.tmp = nil, nil
 }
 
 // Len returns the number of vertices.
@@ -65,10 +86,15 @@ func (f *Forest) Restore(s []int32) {
 // revert copies pointers for v ∈ V(G′), Lemma 7.17).
 func (f *Forest) SnapshotOf(vs []int32) []int32 {
 	s := make([]int32, len(vs))
-	for i, v := range vs {
-		s[i] = f.P[v]
-	}
+	f.SnapshotOfInto(vs, s)
 	return s
+}
+
+// SnapshotOfInto is SnapshotOf into a caller-owned buffer of len(vs).
+func (f *Forest) SnapshotOfInto(vs, dst []int32) {
+	for i, v := range vs {
+		dst[i] = f.P[v]
+	}
 }
 
 // RestoreOf undoes SnapshotOf.
@@ -92,9 +118,14 @@ func Alter(m *pram.Machine, f *Forest, E []graph.Edge) []graph.Edge {
 	m.Contract(1, int64(len(E)), func() {
 		// The loop filter is uncharged (the contract above carries the model
 		// cost); on the concurrent backend it runs as a parallel compaction,
-		// which produces the same edge order as the sequential filter.
+		// which produces the same edge order as the sequential filter.  The
+		// compacted edges are copied back into E's backing so the caller's
+		// buffer ownership (and the session arena's accounting) survives
+		// Alter on every backend.
 		if e := m.Exec(); e != nil && len(E) >= 1<<14 {
-			out = par.Compact(e, E, func(i int) bool { return E[i].U != E[i].V })
+			tmp := par.Compact(e, E, func(i int) bool { return E[i].U != E[i].V })
+			out = E[:len(tmp)]
+			e.Run(len(tmp), func(i int) { out[i] = tmp[i] })
 			return
 		}
 		out = E[:0]
@@ -153,19 +184,25 @@ func ShortcutAll(m *pram.Machine, f *Forest) {
 func FlattenAll(m *pram.Machine, f *Forest) {
 	p := f.P
 	tmp := f.scratch(len(p))
+	// The loop bodies are hoisted so the rounds share two closure values
+	// instead of allocating fresh ones per iteration (they capture only
+	// loop-invariant variables).
+	flag := []int32{0}
+	gather := func(i int) {
+		pv := pram.Load32(p, i)
+		gp := pram.Load32(p, int(pv))
+		if gp != pv {
+			pram.SetFlag(flag, 0)
+		}
+		tmp[i] = gp
+	}
+	write := func(i int) {
+		pram.Store32(p, i, tmp[i])
+	}
 	for {
-		flag := []int32{0}
-		m.For(len(p), func(i int) {
-			pv := pram.Load32(p, i)
-			gp := pram.Load32(p, int(pv))
-			if gp != pv {
-				pram.SetFlag(flag, 0)
-			}
-			tmp[i] = gp
-		})
-		m.For(len(p), func(i int) {
-			pram.Store32(p, i, tmp[i])
-		})
+		flag[0] = 0
+		m.For(len(p), gather)
+		m.For(len(p), write)
 		if flag[0] == 0 {
 			return
 		}
@@ -176,7 +213,10 @@ func FlattenAll(m *pram.Machine, f *Forest) {
 // methods are orchestrated from a single goroutine, so one buffer suffices.
 func (f *Forest) scratch(k int) []int32 {
 	if cap(f.tmp) < k {
-		f.tmp = make([]int32, k)
+		if f.ar != nil && f.tmp != nil {
+			f.ar.Release32(f.tmp)
+		}
+		f.tmp = f.ar.Grab32(k)
 	}
 	return f.tmp[:k]
 }
@@ -184,9 +224,20 @@ func (f *Forest) scratch(k int) []int32 {
 // Labels returns the final component labels: the root of each vertex.  This
 // is an output helper (memoized pointer-chase), not a charged PRAM step.
 func (f *Forest) Labels() []int32 {
+	return f.LabelsInto(nil)
+}
+
+// LabelsInto is Labels writing into dst when it has the capacity (the
+// zero-alloc serving path); a short dst is replaced by a fresh array.
+// Scratch comes from the forest's arena when it has one.
+func (f *Forest) LabelsInto(dst []int32) []int32 {
 	n := len(f.P)
-	out := make([]int32, n)
-	state := make([]int8, n) // 0 unvisited, 1 done
+	out := dst
+	if cap(out) < n {
+		out = make([]int32, n)
+	}
+	out = out[:n]
+	state := f.ar.Grab32(n) // 0 unvisited, 1 done, 2 on stack
 	stack := make([]int32, 0, 64)
 	for v := 0; v < n; v++ {
 		if state[v] == 1 {
@@ -217,6 +268,7 @@ func (f *Forest) Labels() []int32 {
 			state[y] = 1
 		}
 	}
+	f.ar.Release32(state)
 	return out
 }
 

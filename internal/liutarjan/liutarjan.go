@@ -25,6 +25,7 @@ import (
 	"parcc/internal/graph"
 	"parcc/internal/labeled"
 	"parcc/internal/pram"
+	"parcc/internal/solve"
 )
 
 // Variant names a connect rule.
@@ -67,11 +68,17 @@ type Config struct {
 // Solve runs the selected variant to fixpoint and returns the forest and
 // the number of rounds used.
 func Solve(m *pram.Machine, g *graph.Graph, cfg Config) (*labeled.Forest, int) {
+	return SolveCtx(solve.New(m), g, cfg)
+}
+
+// SolveCtx is Solve on a solve context: the forest and working arrays come
+// from the arena (the caller frees the forest after extracting labels).
+func SolveCtx(cx *solve.Ctx, g *graph.Graph, cfg Config) (*labeled.Forest, int) {
+	m := cx.M
 	n := g.N
-	f := labeled.New(n)
+	f := labeled.NewOn(cx.A, n)
 	p := f.P
-	E := make([]graph.Edge, len(g.Edges))
-	copy(E, g.Edges)
+	E := cx.CopyEdges(g.Edges)
 
 	maxRounds := cfg.MaxRounds
 	if maxRounds <= 0 {
@@ -82,8 +89,8 @@ func Solve(m *pram.Machine, g *graph.Graph, cfg Config) (*labeled.Forest, int) {
 		maxRounds = 8*l*l + 64
 	}
 
-	old := make([]int32, n)
-	cand := make([]int64, n) // extreme-connect aggregation
+	old := cx.Grab32(n)
+	cand := cx.Grab64(n) // extreme-connect aggregation
 	changed := []int32{1}
 	rounds := 0
 	for changed[0] != 0 && rounds < maxRounds {
@@ -145,6 +152,9 @@ func Solve(m *pram.Machine, g *graph.Graph, cfg Config) (*labeled.Forest, int) {
 		}
 	}
 	labeled.FlattenAll(m, f)
+	cx.Release32(old)
+	cx.Release64(cand)
+	cx.ReleaseEdges(E)
 	return f, rounds
 }
 
@@ -177,8 +187,16 @@ func casInt32(a []int32, i int, oldv, newv int32) bool {
 // the concurrent backend the final label extraction runs as pointer jumping
 // on the runtime (uncharged either way).
 func Labels(m *pram.Machine, g *graph.Graph, cfg Config) []int32 {
-	f, _ := Solve(m, g, cfg)
-	return labeled.LabelsOn(m.Exec(), f)
+	return LabelsInto(solve.New(m), g, cfg, nil)
+}
+
+// LabelsInto is Labels on a solve context, writing into dst when it has
+// the capacity.
+func LabelsInto(cx *solve.Ctx, g *graph.Graph, cfg Config, dst []int32) []int32 {
+	f, _ := SolveCtx(cx, g, cfg)
+	out := labeled.LabelsOnInto(cx.M.Exec(), f, dst)
+	f.Free()
+	return out
 }
 
 // Variants enumerates the six canonical framework members for benchmarks.

@@ -23,6 +23,7 @@ import (
 	"parcc/internal/graph"
 	"parcc/internal/labeled"
 	"parcc/internal/pram"
+	"parcc/internal/solve"
 )
 
 // Params configures EXPAND-MAXLINK.  Paper values are given in comments;
@@ -90,6 +91,8 @@ type State struct {
 	Extra  []graph.Edge // added edges (hash-table items), altered alongside
 	Level  []int32      // global level field ℓ(v); len == F.Len()
 	P      Params
+	cx     *solve.Ctx
+	best   []int64 // maxlink scratch; len == F.Len()
 	origM  int
 	round  int64
 	budget []int64 // budget by level (precomputed, capped)
@@ -99,13 +102,23 @@ type State struct {
 // NewState prepares a run over vertex set V and edge set E (copied).  The
 // level field is fresh (all ones, per §5.2.1).
 func NewState(m *pram.Machine, f *labeled.Forest, V []int32, E []graph.Edge, p Params) *State {
+	return NewStateOn(solve.New(m), f, V, E, p)
+}
+
+// NewStateOn is NewState drawing the level field, the maxlink scratch, the
+// edge copy, and every per-round table from the context's arena.  Pair it
+// with Free.
+func NewStateOn(cx *solve.Ctx, f *labeled.Forest, V []int32, E []graph.Edge, p Params) *State {
+	m := cx.M
 	s := &State{
 		M:     m,
 		F:     f,
 		V:     V,
-		Edges: append([]graph.Edge(nil), E...),
-		Level: make([]int32, f.Len()),
+		Edges: cx.CopyEdges(E),
+		Level: cx.Grab32(f.Len()),
 		P:     p,
+		cx:    cx,
+		best:  cx.Grab64(f.Len()),
 		origM: len(E) + 1,
 	}
 	for i := range s.Level {
@@ -115,6 +128,15 @@ func NewState(m *pram.Machine, f *labeled.Forest, V []int32, E []graph.Edge, p P
 	// Drop initial loops.
 	s.Edges = labeled.Alter(m, f, s.Edges)
 	return s
+}
+
+// Free returns the state's arena buffers.  The state (and the edge slices
+// it handed out via CurrentEdges) must not be used afterwards.
+func (s *State) Free() {
+	s.cx.Release32(s.Level)
+	s.cx.Release64(s.best)
+	s.cx.ReleaseEdges(s.Edges)
+	s.Level, s.best, s.Edges = nil, nil, nil
 }
 
 func (s *State) precompute() {
@@ -185,7 +207,7 @@ func (s *State) Round() {
 	s.Extra = labeled.Alter(m, f, s.Extra)
 
 	// Identify active roots and allocate this round's tables.
-	roots := make([]int32, 0, len(s.V))
+	roots := s.cx.Grab32Cap(len(s.V))
 	for _, v := range s.V {
 		if f.IsRoot(v) {
 			roots = append(roots, v)
@@ -205,9 +227,9 @@ func (s *State) Round() {
 	})
 
 	// Table layout: per-root offset into a shared slab.
-	tblPos := make([]int64, n) // position+1 of v's table; 0 = none
+	tblPos := s.cx.Grab64(n) // position+1 of v's table; 0 = none
 	var slabSize int64
-	offs := make([]int64, len(roots)+1)
+	offs := s.cx.Grab64(len(roots) + 1)
 	for i, v := range roots {
 		offs[i] = slabSize
 		slabSize += s.budgetOf(lvl[v])
@@ -215,9 +237,9 @@ func (s *State) Round() {
 	offs[len(roots)] = slabSize
 	m.ChargeTime(1)
 	m.ChargeWork(int64(len(roots)))
-	slab := make([]int32, slabSize) // entries store vertex+1; 0 = empty
-	dormant := make([]int32, n)
-	collide := make([]int32, n)
+	slab := s.cx.Grab32(int(slabSize)) // entries store vertex+1; 0 = empty
+	dormant := s.cx.Grab32(n)
+	collide := s.cx.Grab32(n)
 	for i, v := range roots {
 		tblPos[v] = offs[i] + 1
 	}
@@ -382,6 +404,13 @@ func (s *State) Round() {
 
 	// Step 9 is implicit: next round's table sizes derive from the levels.
 
+	s.cx.Release32(slab)
+	s.cx.Release32(dormant)
+	s.cx.Release32(collide)
+	s.cx.Release64(tblPos)
+	s.cx.Release64(offs)
+	s.cx.Release32(roots)
+
 	// Keep the added-edge list tidy (duplicates are semantically harmless
 	// but cost work): dedup when it outgrows the threshold.
 	if s.P.DedupThreshold > 0 && len(s.Extra) > s.P.DedupThreshold*s.origM {
@@ -395,7 +424,7 @@ func (s *State) maxlink() {
 	m, f := s.M, s.F
 	p := f.P
 	lvl := s.Level
-	best := make([]int64, f.Len())
+	best := s.best
 	pack := func(w int32) int64 { return int64(lvl[w])<<32 | int64(uint32(w)) }
 	for it := 0; it < 2; it++ {
 		m.For(len(s.V), func(i int) {
@@ -430,7 +459,7 @@ func (s *State) maxlink() {
 
 func (s *State) dedupExtra() {
 	m := s.M
-	keys := make([]int64, 0, len(s.Extra))
+	keys := s.cx.Grab64Cap(len(s.Extra))
 	for _, e := range s.Extra {
 		keys = append(keys, packEdge(e.U, e.V))
 	}
@@ -445,6 +474,7 @@ func (s *State) dedupExtra() {
 		u, v := int32(k>>32), int32(uint32(k))
 		out = append(out, graph.Edge{U: u, V: v})
 	}
+	s.cx.Release64(keys)
 	s.Extra = out
 }
 
@@ -477,7 +507,13 @@ func log2(n int) int {
 // profile, not the paper's polylogs), it falls back to deterministic
 // min-hooking so the contraction always completes.  Returns rounds used.
 func SolveOn(m *pram.Machine, f *labeled.Forest, V []int32, E []graph.Edge, p Params) int64 {
-	s := NewState(m, f, V, E, p)
+	return SolveOnCtx(solve.New(m), f, V, E, p)
+}
+
+// SolveOnCtx is SolveOn drawing all working state from the solve context.
+func SolveOnCtx(cx *solve.Ctx, f *labeled.Forest, V []int32, E []graph.Edge, p Params) int64 {
+	s := NewStateOn(cx, f, V, E, p)
+	defer s.Free()
 	maxR := p.MaxRounds
 	if maxR <= 0 {
 		maxR = 4*log2(len(f.P)+2) + 64
@@ -489,7 +525,7 @@ func SolveOn(m *pram.Machine, f *labeled.Forest, V []int32, E []graph.Edge, p Pa
 		s.Round()
 	}
 	if !s.Done() {
-		minHookFallback(m, f, s.CurrentEdges())
+		minHookFallback(cx, f, s.CurrentEdges())
 	}
 	return s.round
 }
@@ -497,10 +533,18 @@ func SolveOn(m *pram.Machine, f *labeled.Forest, V []int32, E []graph.Edge, p Pa
 // Solve computes the connected components of g from scratch with the LTZ
 // algorithm, returning the forest (flattened).
 func Solve(m *pram.Machine, g *graph.Graph, p Params) *labeled.Forest {
-	f := labeled.New(g.N)
-	V := make([]int32, g.N)
+	return SolveCtx(solve.New(m), g, p)
+}
+
+// SolveCtx is Solve on a context: the forest comes from the arena (the
+// caller frees it after extracting labels).
+func SolveCtx(cx *solve.Ctx, g *graph.Graph, p Params) *labeled.Forest {
+	m := cx.M
+	f := labeled.NewOn(cx.A, g.N)
+	V := cx.Grab32(g.N)
 	m.Iota32(V)
-	SolveOn(m, f, V, g.Edges, p)
+	SolveOnCtx(cx, f, V, g.Edges, p)
+	cx.Release32(V)
 	labeled.FlattenAll(m, f)
 	return f
 }
@@ -509,17 +553,27 @@ func Solve(m *pram.Machine, g *graph.Graph, p Params) *labeled.Forest {
 // parallel runtime for the (uncharged) extraction when one is installed —
 // the concurrent-backend entry point for the Theorem-2 baseline.
 func SolveLabels(m *pram.Machine, g *graph.Graph, p Params) []int32 {
-	f := Solve(m, g, p)
-	return labeled.LabelsOn(m.Exec(), f)
+	return SolveLabelsInto(solve.New(m), g, p, nil)
+}
+
+// SolveLabelsInto is SolveLabels on a context, writing into dst when it
+// has the capacity.
+func SolveLabelsInto(cx *solve.Ctx, g *graph.Graph, p Params, dst []int32) []int32 {
+	f := SolveCtx(cx, g, p)
+	out := labeled.LabelsOnInto(cx.M.Exec(), f, dst)
+	f.Free()
+	return out
 }
 
 // minHookFallback contracts the remaining edges by repeated minimum-root
 // hooking + shortcut.  Deterministic, always terminates, O(log n · |E|)
 // work in the worst case; used only as a correctness backstop.
-func minHookFallback(m *pram.Machine, f *labeled.Forest, E []graph.Edge) {
+func minHookFallback(cx *solve.Ctx, f *labeled.Forest, E []graph.Edge) {
+	m := cx.M
 	E = labeled.Alter(m, f, E)
 	p := f.P
-	tgt := make([]int64, f.Len())
+	tgt := cx.Grab64(f.Len())
+	defer cx.Release64(tgt)
 	for len(E) > 0 {
 		m.For(len(E), func(i int) {
 			e := E[i]

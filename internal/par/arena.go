@@ -1,0 +1,162 @@
+package par
+
+import "parcc/internal/graph"
+
+// Arena is a scratch-buffer pool for the working arrays a solve allocates:
+// released buffers are kept and handed back by later Grabs, so a Solver
+// running many solves against one Arena reaches a steady state where the
+// hot paths allocate (almost) nothing.  Grabbed buffers are zeroed, making
+// Grab a drop-in replacement for make: algorithm code behaves identically
+// whether its buffers are fresh or recycled.
+//
+// An Arena is NOT safe for concurrent use; it is owned by the single
+// orchestrating goroutine of a solve (the same discipline as pram.Machine).
+// All methods are nil-receiver safe: a nil *Arena degrades to plain make
+// (Grab) and no-ops (Release), which is how the one-shot compatibility
+// wrappers run.
+type Arena struct {
+	i32 [][]int32
+	i64 [][]int64
+	edg [][]graph.Edge
+}
+
+// NewArena returns an empty arena.
+func NewArena() *Arena { return &Arena{} }
+
+// arenaMaxFree bounds each freelist so a pathological Release pattern
+// cannot pin unbounded memory; excess buffers are dropped to the GC.
+const arenaMaxFree = 64
+
+// grab pops the smallest free buffer with cap ≥ n, or returns nil.
+func grab[T any](free *[][]T, n int) []T {
+	best := -1
+	for i, s := range *free {
+		if cap(s) >= n && (best < 0 || cap(s) < cap((*free)[best])) {
+			best = i
+		}
+	}
+	if best < 0 {
+		return nil
+	}
+	s := (*free)[best]
+	last := len(*free) - 1
+	(*free)[best] = (*free)[last]
+	(*free)[last] = nil
+	*free = (*free)[:last]
+	return s[:n]
+}
+
+func release[T any](free *[][]T, s []T) {
+	if cap(s) == 0 || len(*free) >= arenaMaxFree {
+		return
+	}
+	*free = append(*free, s[:0])
+}
+
+// roundCap rounds a requested size up to the next power of two, so
+// near-miss requests across solves converge onto shared buffers.
+func roundCap(n int) int {
+	c := 64
+	for c < n {
+		c <<= 1
+	}
+	return c
+}
+
+// Grab32 returns a zeroed []int32 of length n (recycled when possible).
+func (a *Arena) Grab32(n int) []int32 {
+	if a == nil {
+		return make([]int32, n)
+	}
+	if s := grab(&a.i32, n); s != nil {
+		clear(s)
+		return s
+	}
+	return make([]int32, n, roundCap(n))
+}
+
+// Grab32Cap returns an empty []int32 with capacity ≥ n, for append
+// accumulation (no zeroing: the caller only appends).
+func (a *Arena) Grab32Cap(n int) []int32 {
+	if a == nil {
+		return make([]int32, 0, n)
+	}
+	if s := grab(&a.i32, n); s != nil {
+		return s[:0]
+	}
+	return make([]int32, 0, roundCap(n))
+}
+
+// Release32 returns a buffer obtained from Grab32/Grab32Cap to the pool.
+// The caller must not use the slice (or any alias of its backing array)
+// afterwards.
+func (a *Arena) Release32(s []int32) {
+	if a != nil {
+		release(&a.i32, s)
+	}
+}
+
+// Grab64 returns a zeroed []int64 of length n (recycled when possible).
+func (a *Arena) Grab64(n int) []int64 {
+	if a == nil {
+		return make([]int64, n)
+	}
+	if s := grab(&a.i64, n); s != nil {
+		clear(s)
+		return s
+	}
+	return make([]int64, n, roundCap(n))
+}
+
+// Grab64Cap returns an empty []int64 with capacity ≥ n, for append
+// accumulation (no zeroing: the caller only appends or overwrites).
+func (a *Arena) Grab64Cap(n int) []int64 {
+	if a == nil {
+		return make([]int64, 0, n)
+	}
+	if s := grab(&a.i64, n); s != nil {
+		return s[:0]
+	}
+	return make([]int64, 0, roundCap(n))
+}
+
+// Release64 returns a buffer obtained from Grab64/Grab64Cap to the pool.
+func (a *Arena) Release64(s []int64) {
+	if a != nil {
+		release(&a.i64, s)
+	}
+}
+
+// GrabEdges returns a zeroed []graph.Edge of length n (recycled when
+// possible).
+func (a *Arena) GrabEdges(n int) []graph.Edge {
+	if a == nil {
+		return make([]graph.Edge, n)
+	}
+	if s := grab(&a.edg, n); s != nil {
+		clear(s)
+		return s
+	}
+	return make([]graph.Edge, n, roundCap(n))
+}
+
+// GrabEdgesCap returns an empty edge slice with capacity ≥ n, for append
+// accumulation (no zeroing: the caller only appends).
+func (a *Arena) GrabEdgesCap(n int) []graph.Edge {
+	if a == nil {
+		return make([]graph.Edge, 0, n)
+	}
+	if s := grab(&a.edg, n); s != nil {
+		return s[:0]
+	}
+	return make([]graph.Edge, 0, roundCap(n))
+}
+
+// ReleaseEdges returns a buffer obtained from GrabEdges/GrabEdgesCap to the
+// pool.  Safe on slices whose backing array was swapped mid-solve (the
+// current backing is pooled; the original is left to the GC).
+func (a *Arena) ReleaseEdges(s []graph.Edge) {
+	if a != nil {
+		release(&a.edg, s)
+	}
+}

@@ -1,0 +1,72 @@
+package par
+
+import (
+	"testing"
+
+	"parcc/internal/graph"
+)
+
+func TestArenaGrabZeroedAndRecycled(t *testing.T) {
+	a := NewArena()
+	s := a.Grab32(100)
+	if len(s) != 100 {
+		t.Fatalf("len = %d", len(s))
+	}
+	for i := range s {
+		s[i] = int32(i) + 1
+	}
+	a.Release32(s)
+	s2 := a.Grab32(50)
+	if cap(s2) != cap(s) {
+		t.Errorf("expected recycled buffer (cap %d), got cap %d", cap(s), cap(s2))
+	}
+	for i, v := range s2 {
+		if v != 0 {
+			t.Fatalf("recycled buffer not zeroed at %d: %d", i, v)
+		}
+	}
+}
+
+func TestArenaBestFit(t *testing.T) {
+	a := NewArena()
+	big := a.Grab64(10000)
+	small := a.Grab64(10)
+	a.Release64(big)
+	a.Release64(small)
+	got := a.Grab64(8)
+	if cap(got) >= cap(big) {
+		t.Errorf("best-fit should prefer the small buffer: got cap %d", cap(got))
+	}
+}
+
+func TestArenaNilSafe(t *testing.T) {
+	var a *Arena
+	if s := a.Grab32(5); len(s) != 5 {
+		t.Fatal("nil arena Grab32 must make")
+	}
+	if s := a.Grab64(5); len(s) != 5 {
+		t.Fatal("nil arena Grab64 must make")
+	}
+	if s := a.GrabEdges(5); len(s) != 5 {
+		t.Fatal("nil arena GrabEdges must make")
+	}
+	a.Release32(nil)
+	a.Release64(nil)
+	a.ReleaseEdges(nil)
+}
+
+func TestArenaEdgesCap(t *testing.T) {
+	a := NewArena()
+	e := a.GrabEdgesCap(33)
+	if len(e) != 0 || cap(e) < 33 {
+		t.Fatalf("len=%d cap=%d", len(e), cap(e))
+	}
+	e = append(e, graph.Edge{U: 1, V: 2})
+	a.ReleaseEdges(e)
+	e2 := a.GrabEdges(4)
+	for _, ed := range e2 {
+		if ed.U != 0 || ed.V != 0 {
+			t.Fatal("GrabEdges must zero recycled edges")
+		}
+	}
+}

@@ -10,7 +10,17 @@ import "parcc/internal/graph"
 // for any procs and schedule: every vertex is labeled by the minimum vertex
 // of its component.
 func Components(e Exec, g *graph.Graph) []int32 {
-	p := make([]int32, g.N)
+	return ComponentsInto(e, g, nil)
+}
+
+// ComponentsInto is Components writing into dst when it has the capacity —
+// the zero-allocation serving path for session reuse.
+func ComponentsInto(e Exec, g *graph.Graph, dst []int32) []int32 {
+	p := dst
+	if cap(p) < g.N {
+		p = make([]int32, g.N)
+	}
+	p = p[:g.N]
 	e.Run(g.N, func(v int) { p[v] = int32(v) })
 	edges := g.Edges
 	e.Run(len(edges), func(i int) {

@@ -53,6 +53,11 @@ type Runtime struct {
 
 	jobs  chan *job
 	close sync.Once
+	// jb is the dispatch descriptor, reused across parallel loops: the
+	// orchestration contract (one loop at a time) plus the wg.Wait barrier
+	// make the reuse safe, and it keeps every For/Run on the pool
+	// allocation-free.
+	jb job
 }
 
 // Option configures a Runtime.
@@ -117,11 +122,14 @@ func (r *Runtime) Close() {
 func (r *Runtime) Procs() int { return r.procs }
 
 // job is one parallel loop: workers repeatedly claim the next chunk off the
-// shared cursor until the index space is exhausted.
+// shared cursor until the index space is exhausted.  Exactly one of body
+// (chunked form) and each (per-index form) is set; carrying the per-index
+// body directly avoids wrapping it in a fresh chunk closure per loop.
 type job struct {
 	n     int
 	chunk int
 	body  func(lo, hi, c int)
+	each  func(i int)
 	next  atomic.Int64
 	wg    sync.WaitGroup
 }
@@ -137,7 +145,13 @@ func (j *job) run() {
 		if hi > j.n {
 			hi = j.n
 		}
-		j.body(lo, hi, c)
+		if j.each != nil {
+			for i := lo; i < hi; i++ {
+				j.each(i)
+			}
+		} else {
+			j.body(lo, hi, c)
+		}
 	}
 }
 
@@ -148,9 +162,10 @@ func worker(jobs chan *job) {
 	}
 }
 
-// dispatch runs body over the chunk-size-`chunk` chunking of [0,n), on the
-// pool when it pays.
-func (r *Runtime) dispatch(n, chunk int, body func(lo, hi, c int)) {
+// dispatch runs body/each over the chunk-size-`chunk` chunking of [0,n),
+// on the pool when it pays.  Exactly one of body and each is non-nil; the
+// reused descriptor makes pooled loops allocation-free.
+func (r *Runtime) dispatch(n, chunk int, body func(lo, hi, c int), each func(i int)) {
 	if n <= 0 {
 		return
 	}
@@ -160,6 +175,12 @@ func (r *Runtime) dispatch(n, chunk int, body func(lo, hi, c int)) {
 		helpers = nchunks - 1
 	}
 	if r.jobs == nil || helpers <= 0 {
+		if each != nil {
+			for i := 0; i < n; i++ {
+				each(i)
+			}
+			return
+		}
 		for c := 0; c < nchunks; c++ {
 			lo := c * chunk
 			hi := lo + chunk
@@ -170,24 +191,29 @@ func (r *Runtime) dispatch(n, chunk int, body func(lo, hi, c int)) {
 		}
 		return
 	}
-	j := &job{n: n, chunk: chunk, body: body}
+	j := &r.jb
+	if j.body != nil || j.each != nil {
+		// The descriptor is in flight: a loop body issued a nested parallel
+		// construct, which the single-orchestrator contract forbids (and
+		// which would corrupt the outer loop's chunk cursor).
+		panic("par: nested parallel dispatch from inside a loop body")
+	}
+	j.n, j.chunk, j.body, j.each = n, chunk, body, each
+	j.next.Store(0)
 	j.wg.Add(helpers)
 	for i := 0; i < helpers; i++ {
 		r.jobs <- j
 	}
 	j.run() // the orchestrator participates
 	j.wg.Wait()
+	j.body, j.each = nil, nil // drop closure references until the next loop
 }
 
 // For executes body(i) for every i in [0,n) across the pool and returns when
 // all iterations have completed.  Iterations touching shared cells must use
 // atomics; the completion of For happens-before its return.
 func (r *Runtime) For(n int, body func(i int)) {
-	r.dispatch(n, r.grain, func(lo, hi, _ int) {
-		for i := lo; i < hi; i++ {
-			body(i)
-		}
-	})
+	r.dispatch(n, r.grain, nil, body)
 }
 
 // Run is For under the name the simulator's Executor contract uses.
@@ -199,11 +225,7 @@ func (r *Runtime) Run(n int, body func(i int)) { r.For(n, body) }
 // passes — use it so a small n still spreads across the pool instead of
 // being folded into a single grain-sized chunk.
 func (r *Runtime) RunCoarse(n int, body func(i int)) {
-	r.dispatch(n, 1, func(lo, hi, _ int) {
-		for i := lo; i < hi; i++ {
-			body(i)
-		}
-	})
+	r.dispatch(n, 1, nil, body)
 }
 
 // coarseRunner is the optional Exec extension RunCoarse provides; kernels
@@ -231,7 +253,7 @@ func (r *Runtime) ForChunks(n int, body func(lo, hi int, rng *RNG)) {
 	r.dispatch(n, r.grain, func(lo, hi, c int) {
 		rng := NewRNG(r.seed, e, uint64(c))
 		body(lo, hi, rng)
-	})
+	}, nil)
 }
 
 // Reduce computes combine over leaf(i) for i in [0,n) with identity id.  The
@@ -250,7 +272,7 @@ func Reduce[T any](r *Runtime, n int, id T, leaf func(i int) T, combine func(a, 
 			acc = combine(acc, leaf(i))
 		}
 		parts[c] = acc
-	})
+	}, nil)
 	acc := id
 	for _, p := range parts {
 		acc = combine(acc, p)

@@ -42,9 +42,10 @@ func (m *Machine) MarkTotals() map[string]Mark {
 	return out
 }
 
-// ResetMarks clears the checkpoint log (counters are untouched).
+// ResetMarks clears the checkpoint log (counters are untouched); the log
+// keeps its capacity, since Marks hands out copies.
 func (m *Machine) ResetMarks() {
-	m.marks = nil
+	m.marks = m.marks[:0]
 	m.lastMarkSteps = m.steps
 	m.lastMarkWork = m.work
 }

@@ -182,10 +182,15 @@ func (m *Machine) Steps() int64 { return m.steps }
 // Work reports the total work (operations) charged so far.
 func (m *Machine) Work() int64 { return m.work }
 
-// Reset zeroes the time and work counters and the mark log.
+// Reset zeroes the time and work counters and the mark log, recycling the
+// machine for the next solve: a Solver calls it between Solve invocations
+// so a reused machine is indistinguishable from a fresh one (the per-step
+// random streams restart with it, since they are keyed on the step
+// counter).  The mark log keeps its capacity across resets.
 func (m *Machine) Reset() {
 	m.steps, m.work = 0, 0
-	m.marks = nil
+	m.suspend = 0
+	m.marks = m.marks[:0]
 	m.lastMarkSteps, m.lastMarkWork = 0, 0
 }
 

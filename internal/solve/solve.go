@@ -1,0 +1,156 @@
+// Package solve defines the solve-context threaded from a parcc.Solver
+// down through every algorithm layer: the PRAM machine doing the cost
+// accounting, the scratch arena recycling working arrays across solves,
+// and the provider of cached CSR plans.  The compatibility wrappers of the
+// algorithm packages build a bare context (nil arena, uncached plans)
+// around their machine argument, so one-shot calls behave exactly as
+// before; a Solver installs a persistent arena and plan cache, turning the
+// same code paths near-zero-alloc on repeat solves.
+package solve
+
+import (
+	"sort"
+
+	"parcc/internal/graph"
+	"parcc/internal/par"
+	"parcc/internal/pram"
+	"parcc/internal/prim"
+)
+
+// Ctx carries the borrowed per-solve state.  The machine is always
+// non-nil; a nil Arena degrades every Grab to make (one-shot mode); a nil
+// plan provider builds plans on demand without caching.
+type Ctx struct {
+	M *pram.Machine
+	A *par.Arena
+
+	planFn func(*graph.Graph) *graph.Plan
+}
+
+// New returns a bare one-shot context around m: no arena, no plan cache.
+func New(m *pram.Machine) *Ctx { return &Ctx{M: m} }
+
+// WithArena installs a scratch arena and returns c.
+func (c *Ctx) WithArena(a *par.Arena) *Ctx { c.A = a; return c }
+
+// WithPlanner installs a plan provider (typically a Solver's cache) and
+// returns c.
+func (c *Ctx) WithPlanner(fn func(*graph.Graph) *graph.Plan) *Ctx {
+	c.planFn = fn
+	return c
+}
+
+// Plan returns the CSR plan for g — from the installed provider when one
+// is set (the Solver's cache), otherwise freshly built on the machine's
+// executor.
+func (c *Ctx) Plan(g *graph.Graph) *graph.Plan {
+	if c.planFn != nil {
+		if p := c.planFn(g); p != nil {
+			return p
+		}
+	}
+	return graph.BuildPlanOn(c.M.Exec(), g)
+}
+
+// Grab32 returns a zeroed []int32 of length n from the arena (or make).
+func (c *Ctx) Grab32(n int) []int32 { return c.A.Grab32(n) }
+
+// Grab32Cap returns an empty []int32 with capacity ≥ n.
+func (c *Ctx) Grab32Cap(n int) []int32 { return c.A.Grab32Cap(n) }
+
+// Release32 returns a Grab32/Grab32Cap buffer to the arena.
+func (c *Ctx) Release32(s []int32) { c.A.Release32(s) }
+
+// Grab64 returns a zeroed []int64 of length n from the arena (or make).
+func (c *Ctx) Grab64(n int) []int64 { return c.A.Grab64(n) }
+
+// Grab64Cap returns an empty []int64 with capacity ≥ n (no zeroing).
+func (c *Ctx) Grab64Cap(n int) []int64 { return c.A.Grab64Cap(n) }
+
+// Release64 returns a Grab64 buffer to the arena.
+func (c *Ctx) Release64(s []int64) { c.A.Release64(s) }
+
+// GrabEdges returns a zeroed []graph.Edge of length n from the arena.
+func (c *Ctx) GrabEdges(n int) []graph.Edge { return c.A.GrabEdges(n) }
+
+// GrabEdgesCap returns an empty edge slice with capacity ≥ n.
+func (c *Ctx) GrabEdgesCap(n int) []graph.Edge { return c.A.GrabEdgesCap(n) }
+
+// ReleaseEdges returns a GrabEdges/GrabEdgesCap buffer to the arena.
+func (c *Ctx) ReleaseEdges(s []graph.Edge) { c.A.ReleaseEdges(s) }
+
+// CopyEdges returns an arena-backed copy of E (the pass-by-value edge-set
+// convention used throughout the stages).
+func (c *Ctx) CopyEdges(E []graph.Edge) []graph.Edge {
+	out := c.GrabEdges(len(E))
+	copy(out, E)
+	return out
+}
+
+// NumLabels counts the distinct values of labels (all in [0,n)) with an
+// arena flag sweep — the allocation-free equivalent of graph.NumLabels for
+// the serving hot path.
+func NumLabels(c *Ctx, labels []int32, n int) int {
+	if n == 0 {
+		return 0
+	}
+	flag := c.Grab32(n)
+	count := 0
+	for _, l := range labels {
+		if flag[l] == 0 {
+			flag[l] = 1
+			count++
+		}
+	}
+	c.Release32(flag)
+	return count
+}
+
+// VertexSet returns the distinct endpoints of E in increasing order — the
+// one shared implementation of the V(E) primitive (previously duplicated,
+// and map-ordered in stage1, which made sequential runs nondeterministic).
+// The charged cost is the approximate-compaction contract over the edge
+// set: O(log* n) time, O(|E|) work.  The actual work tracks the charge: a
+// flag-array sweep runs only when the edge set is dense enough that O(n) =
+// O(|E|); sparse edge sets take a sort-dedup of the 2|E| endpoints, whose
+// log factor is uncharged like the other sort-backed contracts in
+// internal/prim.  Both paths yield the same sorted list on every backend.
+func VertexSet(c *Ctx, n int, E []graph.Edge) []int32 {
+	m := c.M
+	var out []int32
+	m.Contract(prim.LogStar(n)+1, int64(len(E)), func() {
+		if 16*len(E) >= n {
+			flag := c.Grab32(n)
+			if e := m.Exec(); e != nil {
+				e.Run(len(E), func(i int) {
+					pram.SetFlag(flag, int(E[i].U))
+					pram.SetFlag(flag, int(E[i].V))
+				})
+				out = par.CompactIndices(e, n, func(v int) bool { return flag[v] != 0 })
+			} else {
+				for _, ed := range E {
+					flag[ed.U], flag[ed.V] = 1, 1
+				}
+				for v := 0; v < n; v++ {
+					if flag[v] != 0 {
+						out = append(out, int32(v))
+					}
+				}
+			}
+			c.Release32(flag)
+			return
+		}
+		ends := c.Grab32Cap(2 * len(E))[:2*len(E)]
+		for i, ed := range E {
+			ends[2*i], ends[2*i+1] = ed.U, ed.V
+		}
+		sort.Slice(ends, func(i, j int) bool { return ends[i] < ends[j] })
+		for i, v := range ends {
+			if i == 0 || ends[i-1] != v {
+				out = append(out, v)
+			}
+		}
+		c.Release32(ends)
+	})
+	return out
+}

@@ -15,6 +15,13 @@ import (
 // a cheap independent cross-check of the eigensolver (used by tests) and of
 // the d ≤ O(log n/λ) diameter bound the paper leans on in Stage 3.
 func MixingEstimate(g *graph.Graph, eps float64, maxSteps int) int {
+	return MixingEstimateOn(graph.NewPlan(g), eps, maxSteps)
+}
+
+// MixingEstimateOn is MixingEstimate against a prebuilt plan (the cached
+// CSR and degree stats replace the per-call rebuilds).
+func MixingEstimateOn(pl *graph.Plan, eps float64, maxSteps int) int {
+	g := pl.G
 	if g.N == 0 {
 		return 0
 	}
@@ -24,8 +31,8 @@ func MixingEstimate(g *graph.Graph, eps float64, maxSteps int) int {
 	if maxSteps <= 0 {
 		maxSteps = 64 * g.N
 	}
-	csr := graph.BuildCSR(g)
-	deg := g.Degrees()
+	csr := pl.CSR
+	deg := pl.Degrees()
 	var vol float64
 	for _, d := range deg {
 		vol += float64(d)
@@ -81,11 +88,16 @@ func MixingEstimate(g *graph.Graph, eps float64, maxSteps int) int {
 // GapFromMixing inverts the mixing-time relation to a rough gap estimate:
 // λ ≈ ln(n/eps)/t_mix.  Useful as an order-of-magnitude cross-check.
 func GapFromMixing(g *graph.Graph, eps float64, maxSteps int) float64 {
-	t := MixingEstimate(g, eps, maxSteps)
+	return GapFromMixingOn(graph.NewPlan(g), eps, maxSteps)
+}
+
+// GapFromMixingOn is GapFromMixing against a prebuilt plan.
+func GapFromMixingOn(pl *graph.Plan, eps float64, maxSteps int) float64 {
+	t := MixingEstimateOn(pl, eps, maxSteps)
 	if t <= 0 {
 		return math.NaN()
 	}
-	return math.Log(float64(g.N)/eps) / float64(t)
+	return math.Log(float64(pl.G.N)/eps) / float64(t)
 }
 
 // WalkDeviation runs k independent lazy random walks of the given length
@@ -93,11 +105,17 @@ func GapFromMixing(g *graph.Graph, eps float64, maxSteps int) float64 {
 // deviation from stationarity.  It is a randomized tester used by the
 // Appendix-C experiments to confirm that sampled expanders still mix.
 func WalkDeviation(g *graph.Graph, walks, length int, seed uint64) float64 {
+	return WalkDeviationOn(graph.NewPlan(g), walks, length, seed)
+}
+
+// WalkDeviationOn is WalkDeviation against a prebuilt plan.
+func WalkDeviationOn(pl *graph.Plan, walks, length int, seed uint64) float64 {
+	g := pl.G
 	if g.N == 0 || walks <= 0 || length <= 0 {
 		return 0
 	}
-	csr := graph.BuildCSR(g)
-	deg := g.Degrees()
+	csr := pl.CSR
+	deg := pl.Degrees()
 	var vol float64
 	for _, d := range deg {
 		vol += float64(d)

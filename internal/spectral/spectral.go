@@ -55,8 +55,9 @@ type component struct {
 	wSelf []float64    // self-loop multiplicity w(v,v)
 }
 
-func splitComponents(g *graph.Graph) []*component {
-	labels := baseline.BFSLabels(g)
+func splitComponents(pl *graph.Plan) []*component {
+	g := pl.G
+	labels := baseline.BFSLabelsCSR(pl.CSR, g.N, nil)
 	idx := make(map[int32]int)
 	var comps []*component
 	local := make([]int32, g.N)
@@ -96,7 +97,13 @@ func splitComponents(g *graph.Graph) []*component {
 // skipped; if the graph has no multi-vertex component the result is 2 (the
 // maximum possible eigenvalue).
 func Gap(g *graph.Graph, o *Options) float64 {
-	gaps := ComponentGaps(g, o)
+	return GapOn(graph.NewPlan(g), o)
+}
+
+// GapOn is Gap against a prebuilt plan, so a Solver serving repeated
+// spectral queries reuses the cached adjacency instead of rebuilding it.
+func GapOn(pl *graph.Plan, o *Options) float64 {
+	gaps := ComponentGapsOn(pl, o)
 	min := 2.0
 	for _, l := range gaps {
 		if !math.IsNaN(l) && l < min {
@@ -109,8 +116,13 @@ func Gap(g *graph.Graph, o *Options) float64 {
 // ComponentGaps returns λ(C) for every connected component C, in order of
 // each component's smallest vertex.  Single-vertex components yield NaN.
 func ComponentGaps(g *graph.Graph, o *Options) []float64 {
+	return ComponentGapsOn(graph.NewPlan(g), o)
+}
+
+// ComponentGapsOn is ComponentGaps against a prebuilt plan.
+func ComponentGapsOn(pl *graph.Plan, o *Options) []float64 {
 	opt := o.defaults()
-	comps := splitComponents(g)
+	comps := splitComponents(pl)
 	out := make([]float64, len(comps))
 	for i, c := range comps {
 		out[i] = gapOf(c, opt)
@@ -398,7 +410,13 @@ func eccentricity(csr *graph.CSR, n int, s int32, dist []int32) (far int32, ecc 
 // per component (the paper's d: longest shortest path within a component).
 // O(n·m); use for small graphs.
 func DiameterExact(g *graph.Graph) int {
-	csr := graph.BuildCSR(g)
+	return DiameterExactOn(graph.NewPlan(g))
+}
+
+// DiameterExactOn is DiameterExact against a prebuilt plan.
+func DiameterExactOn(pl *graph.Plan) int {
+	g := pl.G
+	csr := pl.CSR
 	dist := make([]int32, g.N)
 	var d int32
 	for s := 0; s < g.N; s++ {
@@ -413,11 +431,17 @@ func DiameterExact(g *graph.Graph) int {
 // DiameterApprox lower-bounds the diameter with iterated double sweeps from
 // every component, which is exact on trees and typically tight in practice.
 func DiameterApprox(g *graph.Graph, sweeps int) int {
+	return DiameterApproxOn(graph.NewPlan(g), sweeps)
+}
+
+// DiameterApproxOn is DiameterApprox against a prebuilt plan.
+func DiameterApproxOn(pl *graph.Plan, sweeps int) int {
+	g := pl.G
 	if sweeps < 1 {
 		sweeps = 2
 	}
-	csr := graph.BuildCSR(g)
-	labels := baseline.BFSLabels(g)
+	csr := pl.CSR
+	labels := baseline.BFSLabelsCSR(pl.CSR, g.N, nil)
 	seen := map[int32]bool{}
 	dist := make([]int32, g.N)
 	var best int32

@@ -23,6 +23,7 @@ import (
 	"parcc/internal/labeled"
 	"parcc/internal/pram"
 	"parcc/internal/prim"
+	"parcc/internal/solve"
 )
 
 // Params carries the Stage-1 round counts and probabilities.  Paper values
@@ -60,6 +61,7 @@ type Runner struct {
 	F   *labeled.Forest
 	Prm Params
 
+	cx    *solve.Ctx
 	stamp int64
 	calls int64
 	// stamped per-vertex scratch; valid only when the stored stamp matches.
@@ -68,13 +70,29 @@ type Runner struct {
 
 // NewRunner allocates scratch for the forest's vertex count.
 func NewRunner(m *pram.Machine, f *labeled.Forest, prm Params) *Runner {
+	return NewRunnerOn(solve.New(m), f, prm)
+}
+
+// NewRunnerOn is NewRunner drawing the per-vertex scratch from the solve
+// context's arena; release it with Free when the solve is done.
+func NewRunnerOn(cx *solve.Ctx, f *labeled.Forest, prm Params) *Runner {
 	n := f.Len()
-	mk := func() []int64 { return make([]int64, n) }
+	mk := func() []int64 { return cx.Grab64(n) }
 	return &Runner{
-		M: m, F: f, Prm: prm,
+		M: cx.M, F: f, Prm: prm, cx: cx,
 		out: mk(), hadArc: mk(), hasArc: mk(), cand: mk(),
 		in: mk(), multiIn: mk(), deleted: mk(), slot: mk(), marked: mk(),
 	}
+}
+
+// Free returns the runner's scratch to its context's arena.  The runner
+// must not be used afterwards.
+func (r *Runner) Free() {
+	for _, s := range [][]int64{r.out, r.hadArc, r.hasArc, r.cand, r.in, r.multiIn, r.deleted, r.slot, r.marked} {
+		r.cx.Release64(s)
+	}
+	r.out, r.hadArc, r.hasArc, r.cand = nil, nil, nil, nil
+	r.in, r.multiIn, r.deleted, r.slot, r.marked = nil, nil, nil, nil, nil
 }
 
 func (r *Runner) set(a []int64, i int32, v int32) {
@@ -99,7 +117,7 @@ func (r *Runner) Matching(E []graph.Edge) (updated []int32) {
 	seed := r.Prm.Seed ^ uint64(r.calls)*0x9e3779b97f4a7c15
 
 	// Step 1: keep only non-loop edges between two roots.
-	D := make([]graph.Edge, 0, len(E))
+	D := r.cx.GrabEdgesCap(len(E))
 	m.Contract(1, int64(len(E)), func() {
 		for _, e := range E {
 			if e.U != e.V && p[e.U] == e.U && p[e.V] == e.V {
@@ -116,7 +134,7 @@ func (r *Runner) Matching(E []graph.Edge) (updated []int32) {
 	})
 
 	// Step 3: each tail keeps one arbitrary outgoing arc.
-	live := make([]int32, len(D))
+	live := r.cx.Grab32(len(D))
 	m.For(len(D), func(i int) {
 		r.set(r.out, D[i].U, int32(i)+1)
 	})
@@ -256,6 +274,8 @@ func (r *Runner) Matching(E []graph.Edge) (updated []int32) {
 			pram.Store32(p, int(v), pram.Load32(p, int(pv)))
 		}
 	})
+	r.cx.Release32(live)
+	r.cx.ReleaseEdges(D)
 	return updated
 }
 
@@ -265,7 +285,7 @@ func (r *Runner) Matching(E []graph.Edge) (updated []int32) {
 // parents were updated (needed by EXTRACT's own unwinding).
 func (r *Runner) Filter(E []graph.Edge, k int, seed uint64) (VE []int32, updatedUnion []int32) {
 	m := r.M
-	cur := append([]graph.Edge(nil), E...)
+	cur := r.cx.CopyEdges(E)
 	rounds := make([][]int32, 0, k+1)
 	for j := 0; j <= k; j++ {
 		upd := r.Matching(cur)
@@ -277,7 +297,9 @@ func (r *Runner) Filter(E []graph.Edge, k int, seed uint64) (VE []int32, updated
 	for _, u := range rounds {
 		updatedUnion = append(updatedUnion, u...)
 	}
-	return vertexSet(m, r.F.Len(), cur), updatedUnion
+	VE = solve.VertexSet(r.cx, r.F.Len(), cur)
+	r.cx.ReleaseEdges(cur)
+	return VE, updatedUnion
 }
 
 // unwind performs "for iteration j from k to 0: if v updated v.p in round j
@@ -306,34 +328,16 @@ func deleteEdges(m *pram.Machine, E []graph.Edge, p64 uint64, seed uint64) []gra
 	return out
 }
 
-// vertexSet returns the distinct vertices adjacent to E (each edge notifies
-// its ends: O(1) time, O(|E|) work, plus a compaction to list them).
-func vertexSet(m *pram.Machine, n int, E []graph.Edge) []int32 {
-	var out []int32
-	m.Contract(prim.LogStar(n)+1, int64(len(E)), func() {
-		seen := make(map[int32]struct{}, len(E)*2)
-		for _, e := range E {
-			seen[e.U] = struct{}{}
-			seen[e.V] = struct{}{}
-		}
-		out = make([]int32, 0, len(seen))
-		for v := range seen {
-			out = append(out, v)
-		}
-	})
-	return out
-}
-
 // Extract runs EXTRACT(E,k) (§4.2): repeated FILTER rounds that peel off the
 // high-degree part, then unwinding and REVERSE.  E is altered in place
 // (pass-by-reference); the surviving edge set is returned.
 func (r *Runner) Extract(E []graph.Edge, k int) []graph.Edge {
 	m := r.M
 	n := r.F.Len()
-	inVp := make([]int32, n) // membership flags for V' (single allocation)
+	inVp := r.cx.Grab32(n) // membership flags for V' (single grab)
 	var Vp []int32
 	// Step 1: E' = non-loops of E.
-	Ep := make([]graph.Edge, 0, len(E))
+	Ep := r.cx.GrabEdgesCap(len(E))
 	m.Contract(1, int64(len(E)), func() {
 		for _, e := range E {
 			if e.U != e.V {
@@ -353,6 +357,8 @@ func (r *Runner) Extract(E []graph.Edge, k int) []graph.Edge {
 		Ep = removeBothIn(m, Ep, inVp)
 	}
 	r.unwind(rounds)
+	r.cx.ReleaseEdges(Ep)
+	r.cx.Release32(inVp)
 	Reverse(m, r.F, dedupVerts(Vp), E)
 	return labeled.Alter(m, r.F, E)
 }
@@ -409,6 +415,8 @@ func Reverse(m *pram.Machine, f *labeled.Forest, Vp []int32, E []graph.Edge) {
 }
 
 // Result reports what REDUCE produced: the contracted current graph.
+// Edges is drawn from the runner's context arena (when it has one):
+// ownership passes to the caller, who releases it when the run is done.
 type Result struct {
 	Edges []graph.Edge // altered edge set of the current graph (no loops)
 	Roots []int32      // all roots of the labeled digraph
@@ -421,7 +429,7 @@ type Result struct {
 func (r *Runner) Reduce(g *graph.Graph) Result {
 	m, f := r.M, r.F
 	n := f.Len()
-	E := append([]graph.Edge(nil), g.Edges...)
+	E := r.cx.CopyEdges(g.Edges)
 
 	// Step 1: EXTRACT(E, Θ(log log log n)).
 	E = r.Extract(E, r.Prm.ExtractK)
@@ -435,9 +443,9 @@ func (r *Runner) Reduce(g *graph.Graph) Result {
 	E = labeled.Alter(m, f, E)
 
 	// Step 4: E' = edges with an end outside V'.
-	inVp := make([]int32, n)
+	inVp := r.cx.Grab32(n)
 	m.For(len(Vp), func(i int) { pram.SetFlag(inVp, int(Vp[i])) })
-	Ep := make([]graph.Edge, 0, len(E))
+	Ep := r.cx.GrabEdgesCap(len(E))
 	m.Contract(1, int64(len(E)), func() {
 		for _, e := range E {
 			if inVp[e.U] == 0 || inVp[e.V] == 0 {
@@ -445,6 +453,7 @@ func (r *Runner) Reduce(g *graph.Graph) Result {
 			}
 		}
 	})
+	r.cx.Release32(inVp)
 
 	// Step 5: k rounds of MATCHING on E' with global shortcuts.
 	for i := 0; i <= k; i++ {
@@ -455,6 +464,7 @@ func (r *Runner) Reduce(g *graph.Graph) Result {
 			break
 		}
 	}
+	r.cx.ReleaseEdges(Ep)
 
 	// Step 6: REVERSE(V', E).
 	Reverse(m, f, Vp, E)

@@ -6,6 +6,7 @@ import (
 	"parcc/internal/graph"
 	"parcc/internal/pram"
 	"parcc/internal/prim"
+	"parcc/internal/solve"
 )
 
 // Aux is the auxiliary array of §7.4.1: the edges of G′ (both orientations)
@@ -24,10 +25,17 @@ type Aux struct {
 // BuildAux runs BUILDAUXILIARY(G′) (§7.4.1): padded sort (Lemma 7.9 charge:
 // O(log log m) time, O(m) work) plus the range-delimiting passes.
 func BuildAux(m *pram.Machine, n int, E []graph.Edge) *Aux {
+	return BuildAuxOn(solve.New(m), n, E)
+}
+
+// BuildAuxOn is BuildAux with the array storage drawn from the solve
+// context's arena; pair with Free.
+func BuildAuxOn(cx *solve.Ctx, n int, E []graph.Edge) *Aux {
+	m := cx.M
 	a := &Aux{
-		edges: make([]graph.Edge, 0, 2*len(E)),
-		start: make([]int64, n),
-		count: make([]int64, n),
+		edges: cx.GrabEdgesCap(2 * len(E)),
+		start: cx.Grab64(n),
+		count: cx.Grab64(n),
 	}
 	for i := range a.start {
 		a.start[i] = -1
@@ -49,6 +57,14 @@ func BuildAux(m *pram.Machine, n int, E []graph.Edge) *Aux {
 		}
 	})
 	return a
+}
+
+// Free returns the auxiliary array's storage to the context's arena.
+func (a *Aux) Free(cx *solve.Ctx) {
+	cx.ReleaseEdges(a.edges)
+	cx.Release64(a.start)
+	cx.Release64(a.count)
+	a.edges, a.start, a.count = nil, nil, nil
 }
 
 // Gather returns the original-G′ edges (u,v) for which pred(u) holds, using

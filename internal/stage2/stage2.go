@@ -25,13 +25,12 @@
 package stage2
 
 import (
-	"sort"
-
 	"parcc/internal/graph"
 	"parcc/internal/labeled"
 	"parcc/internal/ltz"
 	"parcc/internal/pram"
 	"parcc/internal/prim"
+	"parcc/internal/solve"
 )
 
 // Params carries the Stage-2 constants.  Paper values in comments.
@@ -92,9 +91,15 @@ func DefaultParams(n, b int) Params {
 // all roots; E = its edges) and returns the skeleton edge set E′ with
 // parallel edges and loops removed.  O(log b) time, O(m+n) work w.h.p.
 func Build(m *pram.Machine, V []int32, E []graph.Edge, p Params) []graph.Edge {
+	return BuildOn(solve.New(m), V, E, p)
+}
+
+// BuildOn is Build drawing its tables from the solve context's arena.
+func BuildOn(cx *solve.Ctx, V []int32, E []graph.Edge, p Params) []graph.Edge {
+	m := cx.M
 	n32 := maxVertex(V, E) + 1
 	// Steps 1–2: hash each edge endpoint into the other end's table.
-	tbl := newTables(m, V, p.TableSize, int(n32))
+	tbl := newTables(cx, V, p.TableSize, int(n32))
 	h := prim.NewHash(p.Seed^0xb417d, p.TableSize)
 	m.For(len(E), func(i int) {
 		e := E[i]
@@ -104,7 +109,7 @@ func Build(m *pram.Machine, V []int32, E []graph.Edge, p Params) []graph.Edge {
 	// Step 3: classify by occupancy.
 	high := tbl.classify(m, p.HighOccupancy)
 	// Step 4: keep low-adjacent edges; sample high–high edges w.p. 1/b.
-	keep := make([]graph.Edge, 0, len(E)/2+16)
+	keep := cx.GrabEdgesCap(len(E)/2 + 16)
 	m.Contract(1, int64(len(E)), func() {
 		for i, e := range E {
 			if high[e.U] == 0 || high[e.V] == 0 {
@@ -117,15 +122,24 @@ func Build(m *pram.Machine, V []int32, E []graph.Edge, p Params) []graph.Edge {
 		}
 	})
 	// Step 5: remove parallel edges and loops (perfect hashing contract).
-	return dedupEdges(m, keep)
+	out := dedupEdges(m, keep)
+	cx.ReleaseEdges(keep)
+	tbl.free(cx, high)
+	return out
 }
 
 // SparseBuild runs SPARSEBUILD(G′,H₂,b) (§7.3.1): degree estimation from the
 // pre-sampled subgraph H₂ only, plus the auxiliary-array gather of all
 // original edges adjacent to low parents, in O(|E′|) work (Lemma 7.13).
 func SparseBuild(m *pram.Machine, f *labeled.Forest, active []int32, aux *Aux, H2 []graph.Edge, p Params) []graph.Edge {
+	return SparseBuildOn(solve.New(m), f, active, aux, H2, p)
+}
+
+// SparseBuildOn is SparseBuild on a solve context.
+func SparseBuildOn(cx *solve.Ctx, f *labeled.Forest, active []int32, aux *Aux, H2 []graph.Edge, p Params) []graph.Edge {
+	m := cx.M
 	n := f.Len()
-	tbl := newTables(m, active, p.TableSize, n)
+	tbl := newTables(cx, active, p.TableSize, n)
 	h := prim.NewHash(p.Seed^0xb417d, p.TableSize)
 	// Step 2: hash H₂ edges (both directions; loops excluded as self-keys).
 	m.For(len(H2), func(i int) {
@@ -151,20 +165,23 @@ func SparseBuild(m *pram.Machine, f *labeled.Forest, active []int32, aux *Aux, H
 	// by the caller across phases).
 	out := append(Ep, H2...)
 	out = labeled.Alter(m, f, out)
+	tbl.free(cx, high)
 	return out
 }
 
 // tables is a slab of per-root hash tables, entries storing vertex+1.
 type tables struct {
+	cx   *solve.Ctx
 	pos  []int64 // pos+1 of each vertex's table; 0 = none
 	size int
 	slab []int32
 	vs   []int32
 }
 
-func newTables(m *pram.Machine, V []int32, size, n int) *tables {
-	t := &tables{pos: make([]int64, n), size: size, vs: V}
-	t.slab = make([]int32, int64(size)*int64(len(V)))
+func newTables(cx *solve.Ctx, V []int32, size, n int) *tables {
+	m := cx.M
+	t := &tables{cx: cx, pos: cx.Grab64(n), size: size, vs: V}
+	t.slab = cx.Grab32(int(int64(size) * int64(len(V))))
 	m.ChargeTime(prim.LogStar(n) + 1) // block assignment via compaction (§5.1 Step 1)
 	m.ChargeWork(int64(len(V)))
 	for i, v := range V {
@@ -183,10 +200,21 @@ func (t *tables) insert(v int32, slot int, w int32) {
 	pram.Store32(t.slab, int(p-1)+slot, w+1)
 }
 
+// free returns the tables' buffers (and an optional classify result) to
+// the context's arena.
+func (t *tables) free(cx *solve.Ctx, high []int32) {
+	cx.Release64(t.pos)
+	cx.Release32(t.slab)
+	if high != nil {
+		cx.Release32(high)
+	}
+	t.pos, t.slab = nil, nil
+}
+
 // classify counts occupied cells per table (binary-tree counting: O(log s)
 // time, O(Σs) work; Lemma 5.1) and returns a flag array: 1 = high.
 func (t *tables) classify(m *pram.Machine, thresh int) []int32 {
-	high := make([]int32, len(t.pos))
+	high := t.cx.Grab32(len(t.pos))
 	m.Contract(prim.Log2Ceil(t.size)+1, int64(len(t.slab)), func() {
 		for _, v := range t.vs {
 			p := t.pos[v] - 1
@@ -245,8 +273,14 @@ type DensifyResult struct {
 // Densify runs DENSIFY(H,b) (§5.2.1) on the skeleton H = (V, EH), updating
 // the shared forest, and returns E_close.
 func Densify(m *pram.Machine, f *labeled.Forest, V []int32, EH []graph.Edge, p Params) DensifyResult {
+	return DensifyOn(solve.New(m), f, V, EH, p)
+}
+
+// DensifyOn is Densify on a solve context.
+func DensifyOn(cx *solve.Ctx, f *labeled.Forest, V []int32, EH []graph.Edge, p Params) DensifyResult {
+	m := cx.M
 	// Step 1: 20·log b rounds of EXPAND-MAXLINK.
-	st := ltz.NewState(m, f, V, EH, p.LTZ)
+	st := ltz.NewStateOn(cx, f, V, EH, p.LTZ)
 	st.Run(p.DensifyRounds)
 	// Step 3: shortcut + alter until the trees over V are flat.
 	for r := 0; r < p.ShortcutRounds; r++ {
@@ -256,38 +290,24 @@ func Densify(m *pram.Machine, f *labeled.Forest, V []int32, EH []graph.Edge, p P
 	}
 	// Step 4: E_close = all current edges (altered originals + added).
 	eclose := st.CurrentEdges()
+	rounds := st.Rounds()
+	st.Free()
 	// Step 5: Theorem 2 on (V(E_close), E_close) — round-limited inside an
 	// INTERWEAVE phase (§3.4: each stage runs for O(log b) time), full
 	// otherwise.
 	if len(eclose) > 0 {
-		verts := vertexList(m, f.Len(), eclose)
+		verts := solve.VertexSet(cx, f.Len(), eclose)
 		if p.SolveRounds > 0 {
-			st2 := ltz.NewState(m, f, verts, eclose, p.LTZ)
+			st2 := ltz.NewStateOn(cx, f, verts, eclose, p.LTZ)
 			st2.Run(p.SolveRounds)
+			st2.Free()
 		} else {
-			ltz.SolveOn(m, f, verts, eclose, p.LTZ)
+			ltz.SolveOnCtx(cx, f, verts, eclose, p.LTZ)
 		}
 	}
 	// Step 6: ALTER(E_close).
 	eclose = labeled.Alter(m, f, eclose)
-	return DensifyResult{Eclose: eclose, Rounds: st.Rounds()}
-}
-
-func vertexList(m *pram.Machine, n int, E []graph.Edge) []int32 {
-	var out []int32
-	m.Contract(prim.LogStar(n)+1, int64(len(E)), func() {
-		seen := make(map[int32]struct{}, 2*len(E))
-		for _, e := range E {
-			seen[e.U] = struct{}{}
-			seen[e.V] = struct{}{}
-		}
-		out = make([]int32, 0, len(seen))
-		for v := range seen {
-			out = append(out, v)
-		}
-		sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	})
-	return out
+	return DensifyResult{Eclose: eclose, Rounds: rounds}
 }
 
 // Increase runs INCREASE(V,E,b) (§5.3.1) over the current graph (V: its
@@ -296,11 +316,16 @@ func vertexList(m *pram.Machine, n int, E []graph.Edge) []int32 {
 // has degree ≥ b, except roots of components already fully contracted
 // (Lemma 5.24/5.25).  Returns E_close for inspection by tests.
 func Increase(m *pram.Machine, f *labeled.Forest, V []int32, E []graph.Edge, p Params) []graph.Edge {
+	return IncreaseOn(solve.New(m), f, V, E, p)
+}
+
+// IncreaseOn is Increase on a solve context.
+func IncreaseOn(cx *solve.Ctx, f *labeled.Forest, V []int32, E []graph.Edge, p Params) []graph.Edge {
 	// Step 1: skeleton.
-	EH := Build(m, V, E, p)
+	EH := BuildOn(cx, V, E, p)
 	// Step 2: densify.
-	res := Densify(m, f, V, EH, p)
-	finishIncrease(m, f, V, E, res.Eclose, p)
+	res := DensifyOn(cx, f, V, EH, p)
+	finishIncrease(cx, f, V, E, res.Eclose, p)
 	return res.Eclose
 }
 
@@ -308,9 +333,15 @@ func Increase(m *pram.Machine, f *labeled.Forest, V []int32, E []graph.Edge, p P
 // the auxiliary array, then the same Steps 2–9, then ALTER(E(H₁)).
 // H1 is altered in place (loops dropped); its remaining edges are returned.
 func IncreaseSparse(m *pram.Machine, f *labeled.Forest, active []int32, aux *Aux, H1, H2 []graph.Edge, p Params) (h1 []graph.Edge, eclose []graph.Edge) {
-	EH := SparseBuild(m, f, active, aux, H2, p)
-	res := Densify(m, f, active, EH, p)
-	finishIncrease(m, f, active, nil, res.Eclose, p)
+	return IncreaseSparseOn(solve.New(m), f, active, aux, H1, H2, p)
+}
+
+// IncreaseSparseOn is IncreaseSparse on a solve context.
+func IncreaseSparseOn(cx *solve.Ctx, f *labeled.Forest, active []int32, aux *Aux, H1, H2 []graph.Edge, p Params) (h1 []graph.Edge, eclose []graph.Edge) {
+	m := cx.M
+	EH := SparseBuildOn(cx, f, active, aux, H2, p)
+	res := DensifyOn(cx, f, active, EH, p)
+	finishIncrease(cx, f, active, nil, res.Eclose, p)
 	h1 = labeled.Alter(m, f, H1)
 	return h1, res.Eclose
 }
@@ -319,7 +350,8 @@ func IncreaseSparse(m *pram.Machine, f *labeled.Forest, active []int32, aux *Aux
 // vertex under its iterated parent, mark heads, hook non-heads, sample
 // leaders, and re-alter E.  E may be nil (the sparse variant leaves the
 // original edges untouched per §7, Definition 7.2).
-func finishIncrease(m *pram.Machine, f *labeled.Forest, V []int32, E []graph.Edge, eclose []graph.Edge, p Params) {
+func finishIncrease(cx *solve.Ctx, f *labeled.Forest, V []int32, E []graph.Edge, eclose []graph.Edge, p Params) {
+	m := cx.M
 	n := f.Len()
 	pp := f.P
 
@@ -327,13 +359,13 @@ func finishIncrease(m *pram.Machine, f *labeled.Forest, V []int32, E []graph.Edg
 	// root of v's tree (see the package comment) — and set v.p = u.
 	// Chasing is charged O(log b) time and O(|V|·log b) work as in the
 	// paper's iterated-composition implementation (proof of Lemma 5.19).
-	anc := make([]int32, len(V))
+	anc := cx.Grab32(len(V))
 	m.Contract(prim.Log2Ceil(p.B+1)+1, int64(len(V))*(prim.Log2Ceil(p.B+1)+1), func() {
 		for i, v := range V {
 			anc[i] = f.Root(v)
 		}
 	})
-	tbl := newTables(m, rootsOf(m, V, anc), p.TableSize, n)
+	tbl := newTables(cx, rootsOf(m, V, anc), p.TableSize, n)
 	h := prim.NewHash(p.Seed^0x4ead, p.TableSize)
 	m.For(len(V), func(i int) {
 		v := V[i]
@@ -380,6 +412,8 @@ func finishIncrease(m *pram.Machine, f *labeled.Forest, V []int32, E []graph.Edg
 	if E != nil {
 		labeled.AlterKeep(m, f, E)
 	}
+	tbl.free(cx, head)
+	cx.Release32(anc)
 }
 
 func hookHead(p []int32, head []int32, v, w int32) {

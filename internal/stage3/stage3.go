@@ -12,6 +12,7 @@ import (
 	"parcc/internal/ltz"
 	"parcc/internal/pram"
 	"parcc/internal/prim"
+	"parcc/internal/solve"
 )
 
 // Params configures SAMPLESOLVE.
@@ -57,17 +58,23 @@ func smallCut(n int) int {
 // trees become flat.  Returns the number of sampled edges (for the work
 // accounting experiments).
 func SampleSolve(m *pram.Machine, f *labeled.Forest, V []int32, E []graph.Edge, p Params) int {
+	return SampleSolveOn(solve.New(m), f, V, E, p)
+}
+
+// SampleSolveOn is SampleSolve on a solve context.
+func SampleSolveOn(cx *solve.Ctx, f *labeled.Forest, V []int32, E []graph.Edge, p Params) int {
+	m := cx.M
 	sampled := 0
 	if len(V) <= p.SmallN {
 		// Step 1: tiny instance — simplify exactly and solve directly.
 		simple := dedup(m, E)
 		if len(simple) > 0 {
-			ltz.SolveOn(m, f, V, simple, p.LTZ)
+			ltz.SolveOnCtx(cx, f, V, simple, p.LTZ)
 		}
 		sampled = len(simple)
 	} else {
 		// Step 2: sample each edge w.p. 1/(log n)^c.
-		var G2 []graph.Edge
+		G2 := cx.GrabEdgesCap(16)
 		m.Contract(1, int64(len(E)), func() {
 			for i, e := range E {
 				if pram.SplitMix64(p.Seed^uint64(i)*0x9e3779b97f4a7c15) < p.SampleP64 {
@@ -78,8 +85,9 @@ func SampleSolve(m *pram.Machine, f *labeled.Forest, V []int32, E []graph.Edge, 
 		sampled = len(G2)
 		// Step 3: Theorem 2 on the sampled subgraph.
 		if len(G2) > 0 {
-			ltz.SolveOn(m, f, V, G2, p.LTZ)
+			ltz.SolveOnCtx(cx, f, V, G2, p.LTZ)
 		}
+		cx.ReleaseEdges(G2)
 	}
 	// Step 4: v.p = v.p.p.p for every original vertex.
 	pp := f.P

@@ -9,6 +9,11 @@
 //   - ConnectedComponents: the paper's CONNECTIVITY algorithm (§7), plus
 //     the [LTZ20] baseline, Shiloach–Vishkin, random-mate, label
 //     propagation, and sequential union-find / BFS for comparison;
+//   - Solver: the session form of the same engine for serving repeated
+//     queries — NewSolver builds the goroutine pool, PRAM machine, scratch
+//     arena, and CSR plan cache once; Solve/SolveInto reuse them, making
+//     warm solves near-zero-alloc with results identical to the one-shot
+//     path (ConnectedComponents is a thin wrapper over a one-shot Solver);
 //   - graph constructors and the generator families used by the paper's
 //     analysis (expanders, hypercubes, grids, cycles, ring-of-cliques,
 //     the 2-CYCLE instances, the Appendix-B construction);
@@ -49,23 +54,23 @@
 //	fast, err := parcc.ConnectedComponents(g, &parcc.Options{
 //		Backend: parcc.BackendConcurrent, Procs: 8,
 //	})
+//
+//	s, err := parcc.NewSolver(&parcc.Options{Backend: parcc.BackendConcurrent})
+//	defer s.Close()
+//	for _, q := range queries {
+//		res, err := s.Solve(q) // reuses pool, machine, arena, CSR plan
+//		...
+//	}
 package parcc
 
 import (
 	"fmt"
 	"io"
-	"runtime"
 
 	"parcc/internal/baseline"
 	"parcc/internal/core"
 	"parcc/internal/graph"
 	"parcc/internal/graph/gen"
-	"parcc/internal/labeled"
-	"parcc/internal/liutarjan"
-	"parcc/internal/ltz"
-	"parcc/internal/par"
-	"parcc/internal/pram"
-	"parcc/internal/prim"
 	"parcc/internal/spectral"
 )
 
@@ -161,8 +166,14 @@ type Options struct {
 	// Sequential forces deterministic single-threaded simulation.  Ignored
 	// when Backend is set explicitly.
 	Sequential bool
-	// Seed makes randomized algorithms reproducible (default 1).
+	// Seed makes randomized algorithms reproducible.  The zero value means
+	// "unset" and selects the default seed 1 (so the zero Options value is
+	// a working default); to actually run with the literal seed 0, set
+	// ZeroSeed.
 	Seed uint64
+	// ZeroSeed selects the literal seed 0, distinguishing "explicit 0"
+	// from the unset zero value of Seed.  Ignored when Seed != 0.
+	ZeroSeed bool
 	// Params overrides the FLS parameter profile (default core.Default).
 	Params *core.Params
 	// KnownGapB is the degree target b for FLSKnownGap (default 16).
@@ -199,7 +210,11 @@ type StageCost struct {
 	Work  int64
 }
 
-// ConnectedComponents labels the connected components of g.
+// ConnectedComponents labels the connected components of g.  It is a
+// compatibility wrapper over a one-shot [Solver]: construct the session,
+// solve once, tear it down.  Callers issuing repeated solves should hold a
+// Solver instead and amortize the session state (pool, machine, arena, CSR
+// plan) across calls.
 func ConnectedComponents(g *Graph, opt *Options) (*Result, error) {
 	if g == nil {
 		return nil, fmt.Errorf("parcc: nil graph")
@@ -207,115 +222,12 @@ func ConnectedComponents(g *Graph, opt *Options) (*Result, error) {
 	if err := g.Validate(); err != nil {
 		return nil, fmt.Errorf("parcc: %w", err)
 	}
-	o := Options{}
-	if opt != nil {
-		o = *opt
+	s, err := NewSolver(opt)
+	if err != nil {
+		return nil, err
 	}
-	if o.Algorithm == "" {
-		o.Algorithm = FLS
-	}
-	if o.Seed == 0 {
-		o.Seed = 1
-	}
-	if o.KnownGapB <= 0 {
-		o.KnownGapB = 16
-	}
-
-	procs := o.Procs
-	if procs <= 0 {
-		procs = o.Workers
-	}
-	if procs <= 0 {
-		procs = runtime.NumCPU()
-	}
-
-	var rt *par.Runtime
-	mopts := []pram.Option{pram.Seed(o.Seed)}
-	switch o.Backend {
-	case "":
-		if o.Sequential {
-			procs = 1
-			mopts = append(mopts, pram.Sequential())
-		} else if o.Workers > 0 {
-			mopts = append(mopts, pram.Workers(o.Workers))
-		}
-	case BackendSequential:
-		procs = 1
-		mopts = append(mopts, pram.Sequential())
-	case BackendConcurrent:
-		rt = par.New(par.Procs(procs), par.Seed(o.Seed))
-		defer rt.Close()
-		mopts = append(mopts, pram.OnExecutor(rt))
-	default:
-		return nil, fmt.Errorf("parcc: unknown backend %q", o.Backend)
-	}
-	m := pram.New(mopts...)
-
-	params := core.Default(g.N)
-	if o.Params != nil {
-		params = *o.Params
-	}
-	params.Seed ^= o.Seed
-
-	res := &Result{Algorithm: o.Algorithm, Backend: o.Backend, Procs: procs}
-	switch o.Algorithm {
-	case FLS:
-		r := core.Connectivity(m, g, params)
-		res.Labels, res.NumComponents, res.Phases = r.Labels, r.NumComponents, r.Phases
-		res.Breakdown = stageCosts(r.Breakdown)
-	case FLSKnownGap:
-		r := core.SolveKnownGap(m, g, o.KnownGapB, params)
-		res.Labels, res.NumComponents = r.Labels, r.NumComponents
-		res.Breakdown = stageCosts(r.Breakdown)
-	case LTZ:
-		lp := params.LTZ
-		lp.Seed ^= o.Seed
-		res.Labels = ltz.SolveLabels(m, g, lp)
-	case SV:
-		f := baseline.ShiloachVishkin(m, g)
-		res.Labels = labeled.LabelsOn(m.Exec(), f)
-	case RandomMate:
-		f := baseline.RandomMate(m, g, o.Seed)
-		res.Labels = labeled.LabelsOn(m.Exec(), f)
-	case LabelProp:
-		res.Labels = baseline.LabelProp(m, g)
-	case LT:
-		res.Labels = liutarjan.Labels(m, g, liutarjan.Config{
-			Connect: liutarjan.ParentConnect, Alter: true,
-		})
-	case ParBFS:
-		res.Labels = baseline.ParallelBFS(m, g)
-	case CASUnite:
-		cas := rt
-		if cas == nil {
-			cas = par.New(par.Procs(procs), par.Seed(o.Seed))
-			defer cas.Close()
-		}
-		// Nominal model charge: one O(log n)-deep linear-work contraction.
-		m.Contract(prim.Log2Ceil(g.N+2)+1, int64(2*g.M()+g.N), func() {
-			res.Labels = par.Components(cas, g)
-		})
-	case UnionFind:
-		res.Labels = baseline.UnionFindLabels(g)
-	case BFS:
-		res.Labels = baseline.BFSLabels(g)
-	default:
-		return nil, fmt.Errorf("parcc: unknown algorithm %q", o.Algorithm)
-	}
-	if res.NumComponents == 0 {
-		res.NumComponents = graph.NumLabels(res.Labels)
-	}
-	res.Steps = m.Steps()
-	res.Work = m.Work()
-	return res, nil
-}
-
-func stageCosts(marks []pram.Mark) []StageCost {
-	out := make([]StageCost, len(marks))
-	for i, mk := range marks {
-		out[i] = StageCost{Stage: mk.Label, Steps: mk.Steps, Work: mk.Work}
-	}
-	return out
+	defer s.Close()
+	return s.Solve(g)
 }
 
 // SameComponent reports whether u and v received the same label.

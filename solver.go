@@ -1,0 +1,287 @@
+package parcc
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"parcc/internal/baseline"
+	"parcc/internal/core"
+	"parcc/internal/graph"
+	"parcc/internal/labeled"
+	"parcc/internal/liutarjan"
+	"parcc/internal/ltz"
+	"parcc/internal/par"
+	"parcc/internal/pram"
+	"parcc/internal/prim"
+	"parcc/internal/solve"
+	"parcc/internal/spectral"
+)
+
+// Solver is a reusable connectivity session: a goroutine pool, a PRAM
+// machine, a scratch arena, and a cached CSR plan that persist across
+// Solve calls.  ConnectedComponents pays the construction of all four on
+// every call; a Solver pays it once, so a serving loop issuing many solves
+// runs against warm state — after the first solve on a graph, the hot
+// paths are near-zero-alloc (SolveInto with a reused Result is the
+// zero-allocation variant).
+//
+// A Solver is safe for concurrent use: Solve serializes internally.  For
+// parallel query throughput across CPU cores, create one Solver per worker
+// goroutine instead of sharing one (the arena and machine are per-session
+// state, not shareable mid-solve).  Close releases the pooled goroutines;
+// an unclosed Solver is reclaimed by the garbage collector.
+//
+//	s, _ := parcc.NewSolver(&parcc.Options{Backend: parcc.BackendConcurrent})
+//	defer s.Close()
+//	for _, g := range queries {
+//		res, _ := s.Solve(g)
+//		...
+//	}
+type Solver struct {
+	opt   Options // normalized: algorithm, backend, KnownGapB filled in
+	seed  uint64  // effective seed (Options.Seed/ZeroSeed resolved)
+	procs int
+
+	mu     sync.Mutex
+	m      *pram.Machine
+	rt     *par.Runtime // concurrent-backend pool (nil otherwise)
+	casRT  *par.Runtime // lazy pool for CASUnite under other backends
+	arena  *par.Arena
+	cx     *solve.Ctx  // persistent solve context (machine+arena+plan cache)
+	plan   *graph.Plan // single-slot plan cache (most recent graph)
+	closed bool
+}
+
+// NewSolver validates the options and builds a session: the machine and
+// (for the concurrent backend) the goroutine pool are constructed here,
+// once.  A nil opt selects the defaults, exactly as ConnectedComponents
+// does.
+func NewSolver(opt *Options) (*Solver, error) {
+	o := Options{}
+	if opt != nil {
+		o = *opt
+	}
+	if o.Algorithm == "" {
+		o.Algorithm = FLS
+	}
+	if !knownAlgorithm(o.Algorithm) {
+		return nil, fmt.Errorf("parcc: unknown algorithm %q", o.Algorithm)
+	}
+	if o.KnownGapB <= 0 {
+		o.KnownGapB = 16
+	}
+	s := &Solver{opt: o, seed: effectiveSeed(o), arena: par.NewArena()}
+
+	procs := o.Procs
+	if procs <= 0 {
+		procs = o.Workers
+	}
+	if procs <= 0 {
+		procs = runtime.NumCPU()
+	}
+	mopts := []pram.Option{pram.Seed(s.seed)}
+	switch o.Backend {
+	case "":
+		if o.Sequential {
+			procs = 1
+			mopts = append(mopts, pram.Sequential())
+		} else if o.Workers > 0 {
+			mopts = append(mopts, pram.Workers(o.Workers))
+		}
+	case BackendSequential:
+		procs = 1
+		mopts = append(mopts, pram.Sequential())
+	case BackendConcurrent:
+		s.rt = par.New(par.Procs(procs), par.Seed(s.seed))
+		mopts = append(mopts, pram.OnExecutor(s.rt))
+	default:
+		return nil, fmt.Errorf("parcc: unknown backend %q", o.Backend)
+	}
+	s.procs = procs
+	s.m = pram.New(mopts...)
+	s.cx = solve.New(s.m).WithArena(s.arena).WithPlanner(s.planFor)
+	return s, nil
+}
+
+// Close releases the solver's pooled goroutines.  The solver must not be
+// used after Close; calling Close more than once is a no-op.
+func (s *Solver) Close() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.closed = true
+	if s.rt != nil {
+		s.rt.Close()
+	}
+	if s.casRT != nil {
+		s.casRT.Close()
+	}
+}
+
+// Solve labels the connected components of g, reusing the session's pool,
+// machine, arena, and (for the same graph) CSR plan.  The result is
+// freshly allocated; use SolveInto to recycle one across calls.
+func (s *Solver) Solve(g *Graph) (*Result, error) {
+	res := &Result{}
+	if err := s.SolveInto(g, res); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// SolveInto is Solve writing into a caller-owned Result: res.Labels and
+// res.Breakdown are reused when they have the capacity, making the steady
+// state of a serving loop allocation-free for the label output too.  All
+// other fields are overwritten.
+func (s *Solver) SolveInto(g *Graph, res *Result) error {
+	if g == nil {
+		return fmt.Errorf("parcc: nil graph")
+	}
+	if err := g.Validate(); err != nil {
+		return fmt.Errorf("parcc: %w", err)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return fmt.Errorf("parcc: solver is closed")
+	}
+	o := s.opt
+	m := s.m
+	m.Reset()
+	cx := s.cx
+
+	params := core.Default(g.N)
+	if o.Params != nil {
+		params = *o.Params
+	}
+	params.Seed ^= s.seed
+
+	dst := res.Labels
+	*res = Result{
+		Algorithm: o.Algorithm, Backend: o.Backend, Procs: s.procs,
+		Breakdown: res.Breakdown[:0],
+	}
+	switch o.Algorithm {
+	case FLS:
+		r := core.ConnectivityOn(cx, g, params, dst)
+		res.Labels, res.NumComponents, res.Phases = r.Labels, r.NumComponents, r.Phases
+		res.Breakdown = stageCostsInto(res.Breakdown, r.Breakdown)
+	case FLSKnownGap:
+		r := core.SolveKnownGapOn(cx, g, o.KnownGapB, params, dst)
+		res.Labels, res.NumComponents = r.Labels, r.NumComponents
+		res.Breakdown = stageCostsInto(res.Breakdown, r.Breakdown)
+	case LTZ:
+		lp := params.LTZ
+		lp.Seed ^= s.seed
+		res.Labels = ltz.SolveLabelsInto(cx, g, lp, dst)
+	case SV:
+		f := baseline.ShiloachVishkinCtx(cx, g)
+		res.Labels = labeled.LabelsOnInto(m.Exec(), f, dst)
+		f.Free()
+	case RandomMate:
+		f := baseline.RandomMateCtx(cx, g, s.seed)
+		res.Labels = labeled.LabelsOnInto(m.Exec(), f, dst)
+		f.Free()
+	case LabelProp:
+		res.Labels = baseline.LabelPropInto(cx, g, dst)
+	case LT:
+		res.Labels = liutarjan.LabelsInto(cx, g, liutarjan.Config{
+			Connect: liutarjan.ParentConnect, Alter: true,
+		}, dst)
+	case ParBFS:
+		res.Labels = baseline.ParallelBFSInto(cx, g, dst)
+	case CASUnite:
+		cas := s.rt
+		if cas == nil {
+			if s.casRT == nil {
+				s.casRT = par.New(par.Procs(s.procs), par.Seed(s.seed))
+			}
+			cas = s.casRT
+		}
+		// Nominal model charge: one O(log n)-deep linear-work contraction.
+		m.Contract(prim.Log2Ceil(g.N+2)+1, int64(2*g.M()+g.N), func() {
+			res.Labels = par.ComponentsInto(cas, g, dst)
+		})
+	case UnionFind:
+		res.Labels = baseline.UnionFindLabelsInto(cx, g, dst)
+	case BFS:
+		res.Labels = baseline.BFSLabelsInto(cx, g, dst)
+	default:
+		return fmt.Errorf("parcc: unknown algorithm %q", o.Algorithm)
+	}
+	if res.NumComponents == 0 {
+		res.NumComponents = solve.NumLabels(cx, res.Labels, g.N)
+	}
+	res.Steps = m.Steps()
+	res.Work = m.Work()
+	return nil
+}
+
+// Plan returns the session's cached CSR plan for g, building it (on the
+// runtime, for the concurrent backend) if the cache holds another or a
+// stale graph.  Useful for driving the spectral estimators against the
+// same adjacency the solves use.
+func (s *Solver) Plan(g *Graph) *graph.Plan {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.planFor(g)
+}
+
+// SpectralGap is parcc.SpectralGap against the session's cached plan.
+func (s *Solver) SpectralGap(g *Graph) float64 {
+	return spectral.GapOn(s.Plan(g), nil)
+}
+
+// ComponentSpectralGaps is parcc.ComponentSpectralGaps against the
+// session's cached plan.
+func (s *Solver) ComponentSpectralGaps(g *Graph) []float64 {
+	return spectral.ComponentGapsOn(s.Plan(g), nil)
+}
+
+// planFor is the single-slot plan cache (callers hold s.mu).  On a closed
+// solver the pool is gone, so the plan is built sequentially and not
+// cached — Plan/SpectralGap degrade gracefully instead of panicking on the
+// released runtime.
+func (s *Solver) planFor(g *graph.Graph) *graph.Plan {
+	if s.closed {
+		return graph.NewPlan(g)
+	}
+	if s.plan == nil || s.plan.G != g || !s.plan.Valid() {
+		var e graph.Exec
+		if s.rt != nil {
+			e = s.rt
+		}
+		s.plan = graph.BuildPlanOn(e, g)
+	}
+	return s.plan
+}
+
+func knownAlgorithm(a Algorithm) bool {
+	switch a {
+	case FLS, FLSKnownGap, LTZ, SV, RandomMate, LabelProp, LT, ParBFS,
+		CASUnite, UnionFind, BFS:
+		return true
+	}
+	return false
+}
+
+// effectiveSeed resolves the Options seed convention: a nonzero Seed wins;
+// the zero value means "unset" and selects the default seed 1 — unless
+// ZeroSeed asks for the literal seed 0.
+func effectiveSeed(o Options) uint64 {
+	if o.Seed != 0 {
+		return o.Seed
+	}
+	if o.ZeroSeed {
+		return 0
+	}
+	return 1
+}
+
+func stageCostsInto(dst []StageCost, marks []pram.Mark) []StageCost {
+	dst = dst[:0]
+	for _, mk := range marks {
+		dst = append(dst, StageCost{Stage: mk.Label, Steps: mk.Steps, Work: mk.Work})
+	}
+	return dst
+}
