@@ -8,6 +8,7 @@
 //	ccbench -run E1,E2 -scale full
 //	ccbench -run SP -scale full -backend concurrent -procs 8   # T1/TP self-speedup
 //	ccbench -run QPS -backend concurrent                       # one-shot vs Solver session
+//	ccbench -run INC -format json -out results/                # incremental updates vs cold re-solve
 //	ccbench -format csv -out results/
 package main
 
@@ -27,7 +28,7 @@ func main() {
 		list    = flag.Bool("list", false, "list experiments and exit")
 		run     = flag.String("run", "all", "comma-separated experiment IDs (E1..E17) or 'all'")
 		scale   = flag.String("scale", "small", "small | full")
-		format  = flag.String("format", "md", "md | csv")
+		format  = flag.String("format", "md", "md | csv | json")
 		outDir  = flag.String("out", "", "write one file per experiment into this directory")
 		seed    = flag.Uint64("seed", 1, "random seed")
 		workers = flag.Int("workers", 0, "goroutine pool size (0 = NumCPU)")
@@ -83,8 +84,10 @@ func main() {
 			body = tab.Markdown()
 		case "csv":
 			body = tab.CSV()
+		case "json":
+			body = tab.JSON()
 		default:
-			fmt.Fprintln(os.Stderr, "ccbench: -format must be md or csv")
+			fmt.Fprintln(os.Stderr, "ccbench: -format must be md, csv, or json")
 			os.Exit(1)
 		}
 		if *outDir != "" {

@@ -1,9 +1,12 @@
-// Incremental: a stream of edge batches arrives and component counts are
-// needed after every batch.  This example contrasts the right tool per
-// regime: sequential union-find (optimal for incremental updates) versus
-// recomputing with the paper's parallel algorithm (optimal when batches
-// are huge or the graph arrives at once), reporting the PRAM work a
-// recompute would charge at each step.
+// Incremental: a stream of edge batches arrives — mostly insertions, with
+// occasional retractions — and component counts are needed after every
+// batch.  This is the workload the live-session API serves: Attach binds a
+// Solver to the graph, AddEdges folds insert batches into the live
+// partition in O(batch) CAS union-find work, RemoveEdges re-solves only
+// the components its deletions touched with the paper's CONNECTIVITY
+// pipeline, and Components re-queries without solving anything.  The
+// example replays the same stream against cold from-scratch solves to
+// show what the session saves.
 //
 //	go run ./examples/incremental
 package main
@@ -11,82 +14,78 @@ package main
 import (
 	"fmt"
 	"log"
+	"time"
 
 	"parcc"
 )
 
 func main() {
 	const n = 20000
-	const batches = 8
+	const batches = 10
 	full := parcc.GNM(n, 3*n, 7)
 	per := full.M() / batches
 
-	fmt.Printf("stream: n=%d, %d batches of %d edges\n\n", n, batches, per)
-	fmt.Println("batch   edges    comps   uf-finds   recompute rounds   recompute work/(m+n)")
+	fmt.Printf("stream: n=%d, %d insert batches of %d edges, retraction every 4th\n\n", n, batches, per)
 
-	// Incremental union-find consumes the stream directly.
-	uf := newUF(n)
+	s, err := parcc.NewSolver(nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer s.Close()
+	if err := s.Attach(parcc.NewGraph(n)); err != nil {
+		log.Fatal(err)
+	}
 
-	g := parcc.NewGraph(n)
+	cold := parcc.NewGraph(n)
+	res := &parcc.Result{}
+	fmt.Println("batch   op        edges    comps   live µs   cold re-solve µs")
 	for b := 0; b < batches; b++ {
 		lo, hi := b*per, (b+1)*per
 		if b == batches-1 {
 			hi = full.M()
 		}
 		batch := full.Edges[lo:hi]
-		g.Edges = append(g.Edges, batch...)
-		for _, e := range batch {
-			uf.union(e.U, e.V)
+
+		op := "add"
+		t0 := time.Now()
+		if err := s.AddEdges(batch); err != nil {
+			log.Fatal(err)
 		}
-		// Recompute from scratch with the parallel algorithm.
-		res, err := parcc.ConnectedComponents(g, &parcc.Options{Seed: uint64(b + 1)})
+		if b > 0 && b%4 == 0 {
+			// Retract a slice of an earlier batch: the deletions mark their
+			// components dirty and trigger a scoped re-solve.
+			op = "add+del"
+			if err := s.RemoveEdges(full.Edges[:per/8]); err != nil {
+				log.Fatal(err)
+			}
+			if err := s.AddEdges(full.Edges[:per/8]); err != nil { // re-add: keep streams aligned
+				log.Fatal(err)
+			}
+		}
+		if err := s.ComponentsInto(res); err != nil {
+			log.Fatal(err)
+		}
+		liveT := time.Since(t0)
+
+		// The cold path pays a full solve of the mutated graph per batch.
+		cold.Edges = append(cold.Edges, batch...)
+		t0 = time.Now()
+		scratch, err := parcc.ConnectedComponents(cold, &parcc.Options{Seed: uint64(b + 1)})
 		if err != nil {
 			log.Fatal(err)
 		}
-		if res.NumComponents != uf.count {
-			log.Fatalf("batch %d: recompute says %d comps, union-find says %d",
-				b, res.NumComponents, uf.count)
+		coldT := time.Since(t0)
+
+		if scratch.NumComponents != res.NumComponents {
+			log.Fatalf("batch %d: live says %d comps, scratch says %d",
+				b, res.NumComponents, scratch.NumComponents)
 		}
-		mn := float64(g.M() + g.N)
-		fmt.Printf("%5d   %6d   %6d   %8d   %16d   %20.1f\n",
-			b, g.M(), res.NumComponents, uf.finds, res.Steps,
-			float64(res.Work)/mn)
+		fmt.Printf("%5d   %-7s   %6d   %6d   %7d   %16d\n",
+			b, op, s.Live().M(), res.NumComponents,
+			liveT.Microseconds(), coldT.Microseconds())
 	}
 
-	fmt.Println("\nunion-find wins per-batch; the parallel recompute pays a fixed")
-	fmt.Println("O(m+n)-work bill but answers in polyloglog parallel time —")
-	fmt.Println("the trade the paper's introduction frames.")
-}
-
-// newUF is a tiny union-find with a find counter (the package keeps the
-// instrumented baseline internal, so the example carries its own).
-type uf struct {
-	p     []int32
-	count int
-	finds int
-}
-
-func newUF(n int) *uf {
-	u := &uf{p: make([]int32, n), count: n}
-	for i := range u.p {
-		u.p[i] = int32(i)
-	}
-	return u
-}
-
-func (u *uf) find(x int32) int32 {
-	u.finds++
-	for u.p[x] != x {
-		u.p[x] = u.p[u.p[x]]
-		x = u.p[x]
-	}
-	return x
-}
-
-func (u *uf) union(a, b int32) {
-	ra, rb := u.find(a), u.find(b)
-	if ra != rb {
-		u.p[rb] = ra
-		u.count--
-	}
+	fmt.Println("\nthe live session folds each batch into the standing partition and")
+	fmt.Println("answers from it; the cold column re-pays O(m+n) per batch.  deletions")
+	fmt.Println("fall back to the paper's pipeline — but only on the dirty components.")
 }

@@ -1,0 +1,283 @@
+package parcc
+
+import (
+	"fmt"
+
+	"parcc/internal/core"
+	"parcc/internal/graph"
+	"parcc/internal/par"
+)
+
+// This file is the incremental-update subsystem on top of solver sessions:
+// a Solver can hold a live graph (Attach) and keep its component partition
+// current across batched mutations.  Insertions never look at the rest of
+// the graph — AddEdges runs the batch through the lock-free CAS union-find
+// (internal/par Unite), O(|batch|·α) amortized work, parallel over the
+// batch on the session's runtime.  Deletions cannot be absorbed by a
+// union-find, so RemoveEdges marks the components its edges touched dirty
+// and re-solves only the subgraph they induce with the paper's full
+// CONNECTIVITY pipeline, splicing the scoped labels back into the live
+// forest.  Components/ComponentsInto re-query the live partition without
+// solving anything.
+//
+// Liu–Tarjan's Simple Concurrent Connected Components Algorithms
+// (arXiv:1812.06177) supplies the union-find machinery; the FLS pipeline
+// remains the from-scratch engine the deletions fall back to.
+
+// incSession is the live state behind Attach/AddEdges/RemoveEdges: the
+// session-owned graph, the CAS union-find forest over it, and the
+// maintained component count.  Guarded by the Solver's mutex.
+type incSession struct {
+	g      *graph.Graph
+	parent []int32
+	ncomp  int
+	batch  uint64 // mutation-batch counter; perturbs scoped-solve seeds
+	// needsCompress records whether successful unions may have left
+	// non-root parent chains since the forest was last flattened, so a
+	// read-heavy query stream pays the O(n) Compress once per mutation,
+	// not once per query.
+	needsCompress bool
+}
+
+// Attach binds the solver to a live graph and computes its initial
+// partition, making the incremental API (AddEdges, RemoveEdges,
+// Components) available.  The solver takes ownership of g: mutate it only
+// through the incremental API afterwards (Live returns it for read-only
+// use).  Attaching again replaces the previous live graph.  The initial
+// solve is one CAS union-find pass — O(m·α) work, parallel on the
+// session's runtime — not a charged PRAM run.
+func (s *Solver) Attach(g *Graph) error {
+	if g == nil {
+		return fmt.Errorf("parcc: nil graph")
+	}
+	if err := g.Validate(); err != nil {
+		return fmt.Errorf("parcc: %w", err)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return fmt.Errorf("parcc: solver is closed")
+	}
+	e := s.casExec()
+	p := make([]int32, g.N)
+	e.Run(g.N, func(v int) { p[v] = int32(v) })
+	merges := par.UniteBatch(e, p, g.Edges)
+	par.Compress(e, p)
+	s.inc = &incSession{g: g, parent: p, ncomp: g.N - merges}
+	return nil
+}
+
+// Live returns the solver's attached graph (nil when no session is
+// active).  The graph is owned by the solver: treat it as read-only and
+// mutate only through AddEdges/RemoveEdges — it is safe to pass to
+// Solve/SolveInto or the spectral estimators, which never modify it.
+func (s *Solver) Live() *Graph {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.inc == nil {
+		return nil
+	}
+	return s.inc.g
+}
+
+// AddEdges appends a batch of edges to the live graph and folds them into
+// the partition: O(|batch|·α) amortized work on the session's runtime,
+// independent of the size of the rest of the graph — the fast path of the
+// incremental subsystem.  Self-loops and parallel edges are permitted
+// (§2.1); endpoints must be in range.  On error the live state is
+// unchanged.  Safe for concurrent callers (the session lock serializes all
+// mutations and queries).
+func (s *Solver) AddEdges(batch []Edge) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	inc, err := s.incReady()
+	if err != nil {
+		return err
+	}
+	n := inc.g.N
+	for _, e := range batch {
+		if e.U < 0 || int(e.U) >= n || e.V < 0 || int(e.V) >= n {
+			return fmt.Errorf("parcc: edge (%d,%d) out of range [0,%d)", e.U, e.V, n)
+		}
+	}
+	if len(batch) == 0 {
+		return nil
+	}
+	inc.g.Edges = append(inc.g.Edges, batch...)
+	inc.batch++
+	// The cached plan (if it covers the live graph) is now a strict prefix;
+	// planFor extends it by delta on the next plan-consuming solve rather
+	// than rebuilding — nothing to do eagerly, and the insert path stays
+	// O(|batch|).
+	if merges := par.UniteBatch(s.casExec(), inc.parent, batch); merges > 0 {
+		inc.ncomp -= merges
+		// Only a winning hook can leave a chain; failed unites and finds
+		// at most shorten paths.
+		inc.needsCompress = true
+	}
+	return nil
+}
+
+// RemoveEdges deletes one occurrence per batch entry from the live graph
+// (either orientation of an undirected edge matches) and repairs the
+// partition.  A union-find cannot split, so deletions are the slow path:
+// the components touched by the batch are marked dirty and exactly the
+// subgraph they induce is re-solved with the paper's CONNECTIVITY pipeline
+// (charged O(m'+n') on that subgraph), then spliced back — components the
+// batch never touched are not looked at.  One O(m) sweep filters the edge
+// list itself.  A batch entry with no remaining occurrence is an error and
+// leaves the live state unchanged.  Removing only self-loops skips the
+// re-solve entirely (a loop never carries connectivity).
+func (s *Solver) RemoveEdges(batch []Edge) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	inc, err := s.incReady()
+	if err != nil {
+		return err
+	}
+	if len(batch) == 0 {
+		return nil
+	}
+	n := inc.g.N
+	need := make(map[int64]int, len(batch))
+	for _, e := range batch {
+		if e.U < 0 || int(e.U) >= n || e.V < 0 || int(e.V) >= n {
+			return fmt.Errorf("parcc: edge (%d,%d) out of range [0,%d)", e.U, e.V, n)
+		}
+		need[e.CanonKey()]++
+	}
+	// Validation pass before any mutation: every batch entry must have an
+	// occurrence left in the live multiset.
+	remain := len(batch)
+	for _, e := range inc.g.Edges {
+		if k := e.CanonKey(); need[k] > 0 {
+			need[k]--
+			remain--
+		}
+	}
+	if remain > 0 {
+		return fmt.Errorf("parcc: remove batch includes %d edge occurrence(s) not in the live graph", remain)
+	}
+	for _, e := range batch {
+		need[e.CanonKey()]++
+	}
+
+	// Removal sweep: filter the edge list in place, marking the root of
+	// every removed non-loop edge dirty (both endpoints share a root — the
+	// edge connected them until now).
+	e := s.casExec()
+	cx := s.cx
+	parent := inc.parent
+	dirty := cx.Grab32(n)
+	dirtyCount := 0
+	kept := inc.g.Edges[:0]
+	for _, ed := range inc.g.Edges {
+		if k := ed.CanonKey(); need[k] > 0 {
+			need[k]--
+			if ed.U != ed.V {
+				if r := par.Find(parent, ed.U); dirty[r] == 0 {
+					dirty[r] = 1
+					dirtyCount++
+				}
+			}
+			continue
+		}
+		kept = append(kept, ed)
+	}
+	inc.g.Edges = kept
+	inc.batch++
+	if s.plan != nil && s.plan.G == inc.g {
+		s.plan = nil // removal invalidates the delta chain; force a rebuild
+	}
+	if dirtyCount == 0 {
+		cx.Release32(dirty)
+		return nil
+	}
+
+	// Scoped re-solve: gather the vertices of the dirty components, build
+	// the induced subgraph in compact ids, run CONNECTIVITY on it, and
+	// splice the labels back.  Everything outside the dirty set is
+	// untouched.
+	par.Compress(e, parent)
+	sc := cx.Inc()
+	sc.Verts = sc.Verts[:0]
+	vmap := cx.Grab32(n)
+	for v := 0; v < n; v++ {
+		if dirty[parent[v]] != 0 {
+			vmap[v] = int32(len(sc.Verts)) + 1
+			sc.Verts = append(sc.Verts, int32(v))
+		}
+	}
+	sc.Sub = graph.InducedInto(inc.g, vmap, len(sc.Verts), sc.Sub)
+	s.m.Reset()
+	r := core.ConnectivityScoped(cx, sc.Sub, s.seed^(inc.batch*0x9e3779b97f4a7c15), sc.SubLabels)
+	sc.SubLabels = r.Labels
+	par.SpliceLabels(e, parent, sc.Verts, r.Labels)
+	inc.ncomp += r.NumComponents - dirtyCount
+	// The Compress above flattened the whole forest and the splice wrote a
+	// flat two-level region; queries need no further flatten.
+	inc.needsCompress = false
+	cx.Release32(vmap)
+	cx.Release32(dirty)
+	return nil
+}
+
+// Components returns the live partition as a freshly allocated Result —
+// the cheap re-query of the incremental session: no solve happens, only a
+// flatten of the union-find forest (O(n) on the session's runtime, far
+// below any from-scratch solve) and a copy of the labels.  NumComponents
+// is maintained exactly across batches.  Result.Algorithm echoes
+// Incremental; Steps/Work are zero (the kernels are uncharged serving
+// helpers — charged costs accrue only inside RemoveEdges' scoped
+// re-solves).  Use ComponentsInto to recycle the Result in a serving loop.
+func (s *Solver) Components() (*Result, error) {
+	res := &Result{}
+	if err := s.ComponentsInto(res); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// ComponentsInto is Components writing into a caller-owned Result:
+// res.Labels is reused when it has the capacity, making steady-state
+// re-queries allocation-free.  All other fields are overwritten.
+func (s *Solver) ComponentsInto(res *Result) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	inc, err := s.incReady()
+	if err != nil {
+		return err
+	}
+	n := inc.g.N
+	if inc.needsCompress {
+		par.Compress(s.casExec(), inc.parent)
+		inc.needsCompress = false
+	}
+	dst := res.Labels
+	if cap(dst) < n {
+		dst = make([]int32, n)
+	}
+	dst = dst[:n]
+	copy(dst, inc.parent)
+	*res = Result{
+		Labels:        dst,
+		NumComponents: inc.ncomp,
+		Algorithm:     Incremental,
+		Backend:       s.opt.Backend,
+		Procs:         s.procs,
+		Breakdown:     res.Breakdown[:0],
+	}
+	return nil
+}
+
+// incReady reports the live session, erroring when there is none or the
+// solver is closed (callers hold s.mu).
+func (s *Solver) incReady() (*incSession, error) {
+	if s.closed {
+		return nil, fmt.Errorf("parcc: solver is closed")
+	}
+	if s.inc == nil {
+		return nil, fmt.Errorf("parcc: no live graph attached (call Attach first)")
+	}
+	return s.inc, nil
+}

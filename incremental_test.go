@@ -1,0 +1,380 @@
+package parcc
+
+import (
+	"math/rand"
+	"testing"
+
+	"parcc/internal/baseline"
+	"parcc/internal/graph"
+	"parcc/internal/graph/gen"
+)
+
+// TestAttachMatchesScratch: the partition right after Attach must equal a
+// cold ConnectedComponents solve, with the exact component count.
+func TestAttachMatchesScratch(t *testing.T) {
+	g := solverTestGraph()
+	want, err := ConnectedComponents(g, &Options{Algorithm: BFS})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewSolver(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if err := s.Attach(g.Clone()); err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Components()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NumComponents != want.NumComponents {
+		t.Fatalf("components = %d, want %d", res.NumComponents, want.NumComponents)
+	}
+	if !graph.SamePartition(want.Labels, res.Labels) {
+		t.Fatal("attach partition differs from scratch solve")
+	}
+	if res.Algorithm != Incremental {
+		t.Fatalf("Algorithm echo = %q, want %q", res.Algorithm, Incremental)
+	}
+}
+
+// TestAddEdgesMerges: inserts must merge components and keep the count
+// exact, without a re-solve.
+func TestAddEdgesMerges(t *testing.T) {
+	s, err := NewSolver(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if err := s.Attach(NewGraph(6)); err != nil {
+		t.Fatal(err)
+	}
+	check := func(want int) {
+		t.Helper()
+		res, err := s.Components()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.NumComponents != want {
+			t.Fatalf("components = %d, want %d", res.NumComponents, want)
+		}
+	}
+	check(6)
+	if err := s.AddEdges([]Edge{{U: 0, V: 1}, {U: 2, V: 3}}); err != nil {
+		t.Fatal(err)
+	}
+	check(4)
+	// Parallel edge and self-loop change nothing; a bridge merges.
+	if err := s.AddEdges([]Edge{{U: 1, V: 0}, {U: 4, V: 4}, {U: 1, V: 2}}); err != nil {
+		t.Fatal(err)
+	}
+	check(3)
+}
+
+// TestRemoveEdgesSplits: deleting a bridge must split a component via the
+// scoped re-solve; deleting one copy of a parallel edge must not.
+func TestRemoveEdgesSplits(t *testing.T) {
+	s, err := NewSolver(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	g := FromPairs(5, [][2]int{{0, 1}, {1, 2}, {2, 1}, {3, 4}})
+	if err := s.Attach(g); err != nil {
+		t.Fatal(err)
+	}
+	comps := func() int {
+		t.Helper()
+		res, err := s.Components()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.NumComponents
+	}
+	if c := comps(); c != 2 {
+		t.Fatalf("start: %d components, want 2", c)
+	}
+	// One copy of the parallel pair (1,2)/(2,1): still connected.
+	if err := s.RemoveEdges([]Edge{{U: 1, V: 2}}); err != nil {
+		t.Fatal(err)
+	}
+	if c := comps(); c != 2 {
+		t.Fatalf("after parallel-copy removal: %d components, want 2", c)
+	}
+	// The remaining copy (matched in reversed orientation): splits.
+	if err := s.RemoveEdges([]Edge{{U: 1, V: 2}}); err != nil {
+		t.Fatal(err)
+	}
+	if c := comps(); c != 3 {
+		t.Fatalf("after bridge removal: %d components, want 3", c)
+	}
+	if err := s.RemoveEdges([]Edge{{U: 3, V: 4}, {U: 0, V: 1}}); err != nil {
+		t.Fatal(err)
+	}
+	if c := comps(); c != 5 {
+		t.Fatalf("fully disconnected: %d components, want 5", c)
+	}
+	if s.Live().M() != 0 {
+		t.Fatalf("live graph still has %d edges", s.Live().M())
+	}
+}
+
+// TestIncrementalErrors: the API must reject misuse without corrupting the
+// live state.
+func TestIncrementalErrors(t *testing.T) {
+	s, err := NewSolver(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if err := s.AddEdges([]Edge{{U: 0, V: 1}}); err == nil {
+		t.Fatal("AddEdges before Attach must error")
+	}
+	if _, err := s.Components(); err == nil {
+		t.Fatal("Components before Attach must error")
+	}
+	if err := s.Attach(gen.Path(4)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddEdges([]Edge{{U: 0, V: 9}}); err == nil {
+		t.Fatal("out-of-range endpoint must error")
+	}
+	if err := s.RemoveEdges([]Edge{{U: 0, V: 3}}); err == nil {
+		t.Fatal("removing a missing edge must error")
+	}
+	// The failed removal must not have mutated anything.
+	res, err := s.Components()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NumComponents != 1 || s.Live().M() != 3 {
+		t.Fatalf("failed removal corrupted state: comps=%d m=%d", res.NumComponents, s.Live().M())
+	}
+	closed, err := NewSolver(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := closed.Attach(gen.Path(3)); err != nil {
+		t.Fatal(err)
+	}
+	closed.Close()
+	if err := closed.AddEdges([]Edge{{U: 0, V: 1}}); err == nil {
+		t.Fatal("closed solver must refuse incremental updates")
+	}
+}
+
+// TestIncrementalRandomizedVsScratch is the equivalence satellite: 1000
+// random add/remove batches — 25 per generator family per backend, over
+// all 20 families on both backends — each checked against a from-scratch
+// solve of the mutated graph.  The referee is baseline.IncOracle (an
+// independent union-find reimplementation of the multiset semantics), and
+// the cold solve of the oracle's graph must match the live partition
+// exactly (partition equality; component count is compared exactly).
+func TestIncrementalRandomizedVsScratch(t *testing.T) {
+	const batchesPerCase = 25
+	for name, g0 := range familyGraphs() {
+		for _, be := range []Backend{BackendSequential, BackendConcurrent} {
+			rng := rand.New(rand.NewSource(int64(len(name)) * 2654435761))
+			s, err := NewSolver(&Options{Backend: be, Procs: 3, Seed: 7})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := s.Attach(g0.Clone()); err != nil {
+				t.Fatal(err)
+			}
+			oracle := baseline.NewIncOracle(g0)
+			res := &Result{}
+			for b := 0; b < batchesPerCase; b++ {
+				live := oracle.Graph()
+				if rng.Intn(10) < 6 || live.M() == 0 {
+					// Insert batch: random pairs, occasional loop/parallel.
+					k := 1 + rng.Intn(8)
+					batch := make([]Edge, k)
+					for i := range batch {
+						u := int32(rng.Intn(live.N))
+						v := int32(rng.Intn(live.N))
+						if rng.Intn(8) == 0 && live.M() > 0 {
+							e := live.Edges[rng.Intn(live.M())]
+							u, v = e.U, e.V // duplicate an existing edge
+						}
+						batch[i] = Edge{U: u, V: v}
+					}
+					if err := s.AddEdges(batch); err != nil {
+						t.Fatalf("%s/%s batch %d: AddEdges: %v", name, be, b, err)
+					}
+					if err := oracle.AddEdges(batch); err != nil {
+						t.Fatalf("%s/%s batch %d: oracle AddEdges: %v", name, be, b, err)
+					}
+				} else {
+					// Remove batch: distinct random occurrences.
+					k := 1 + rng.Intn(6)
+					if k > live.M() {
+						k = live.M()
+					}
+					idx := rng.Perm(live.M())[:k]
+					batch := make([]Edge, 0, k)
+					for _, i := range idx {
+						batch = append(batch, live.Edges[i])
+					}
+					if err := s.RemoveEdges(batch); err != nil {
+						t.Fatalf("%s/%s batch %d: RemoveEdges: %v", name, be, b, err)
+					}
+					if err := oracle.RemoveEdges(batch); err != nil {
+						t.Fatalf("%s/%s batch %d: oracle RemoveEdges: %v", name, be, b, err)
+					}
+				}
+				if err := s.ComponentsInto(res); err != nil {
+					t.Fatalf("%s/%s batch %d: Components: %v", name, be, b, err)
+				}
+				want := oracle.Labels()
+				if !graph.SamePartition(want, res.Labels) {
+					t.Fatalf("%s/%s batch %d: live partition differs from scratch", name, be, b)
+				}
+				if wantN := graph.NumLabels(want); res.NumComponents != wantN {
+					t.Fatalf("%s/%s batch %d: count %d, want %d", name, be, b, res.NumComponents, wantN)
+				}
+			}
+			s.Close()
+		}
+	}
+}
+
+// TestIncrementalInterleavedWithSolve: a live session and plain Solve
+// calls share the solver; the plan cache must follow the live graph
+// through appends (delta extension) and removals (rebuild).
+func TestIncrementalInterleavedWithSolve(t *testing.T) {
+	s, err := NewSolver(&Options{Algorithm: BFS})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if err := s.Attach(gen.Grid(8, 9).Clone()); err != nil {
+		t.Fatal(err)
+	}
+	g := s.Live()
+	for step := 0; step < 4; step++ {
+		res, err := s.Solve(g) // BFS reads the cached plan
+		if err != nil {
+			t.Fatal(err)
+		}
+		live, err := s.Components()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !graph.SamePartition(res.Labels, live.Labels) {
+			t.Fatalf("step %d: Solve and Components disagree", step)
+		}
+		if step%2 == 0 {
+			if err := s.AddEdges([]Edge{{U: int32(step), V: int32(70 - step)}}); err != nil {
+				t.Fatal(err)
+			}
+		} else {
+			// Remove the chord the previous step added.
+			if err := s.RemoveEdges([]Edge{{U: int32(step - 1), V: int32(71 - step)}}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+}
+
+// TestTrustGraphSkipsFingerprint is the Options.TrustGraph satellite: by
+// default the plan cache catches in-place mutation (the regression of the
+// stale-CSR bug); with TrustGraph the O(m) fingerprint pass is skipped, so
+// the same mutation is — by documented contract — not noticed, while
+// appends still invalidate via the length check.
+func TestTrustGraphSkipsFingerprint(t *testing.T) {
+	mutate := func(trust bool) (stale bool) {
+		g := graph.FromPairs(4, [][2]int{{0, 1}, {2, 3}})
+		s, err := NewSolver(&Options{Algorithm: BFS, TrustGraph: trust})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer s.Close()
+		if _, err := s.Solve(g); err != nil {
+			t.Fatal(err)
+		}
+		g.Edges[1] = graph.Edge{U: 1, V: 2} // in-place, same length
+		res, err := s.Solve(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return !Verify(g, res.Labels)
+	}
+	if mutate(false) {
+		t.Fatal("default solver must catch in-place mutation (fingerprint regression)")
+	}
+	if !mutate(true) {
+		t.Fatal("TrustGraph solver re-fingerprinted the graph (the O(m) scan it promises to skip)")
+	}
+	// Remove-then-append under TrustGraph (net length growth): the plan
+	// extension path must verify the prefix it builds on, not trust it —
+	// the documented promise is that only same-length overwrites go
+	// unnoticed.  Regression for a stale-CSR bug caught in review.
+	gm := graph.FromPairs(6, [][2]int{{0, 1}, {1, 2}, {3, 4}})
+	sm, err := NewSolver(&Options{Algorithm: BFS, TrustGraph: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sm.Close()
+	if _, err := sm.Solve(gm); err != nil {
+		t.Fatal(err)
+	}
+	gm.Edges = append(gm.Edges[:0], graph.Edge{U: 1, V: 2}, graph.Edge{U: 3, V: 4})
+	gm.AddEdge(4, 5)
+	gm.AddEdge(2, 3)
+	res, err := sm.Solve(gm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Verify(gm, res.Labels) {
+		t.Fatal("TrustGraph plan extension served labels from an unverified mutated prefix")
+	}
+
+	// Appends are still caught under TrustGraph: the length check is kept.
+	g := graph.FromPairs(4, [][2]int{{0, 1}})
+	s, err := NewSolver(&Options{Algorithm: BFS, TrustGraph: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if _, err := s.Solve(g); err != nil {
+		t.Fatal(err)
+	}
+	g.AddEdge(2, 3)
+	res2, err := s.Solve(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Verify(g, res2.Labels) {
+		t.Fatal("TrustGraph must still detect appended edges via the length check")
+	}
+}
+
+// TestComponentsIntoReusesBuffer: the re-query path must be allocation-
+// friendly — the label backing is kept once it has the capacity.
+func TestComponentsIntoReusesBuffer(t *testing.T) {
+	s, err := NewSolver(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if err := s.Attach(gen.Cycle(64).Clone()); err != nil {
+		t.Fatal(err)
+	}
+	res := &Result{}
+	if err := s.ComponentsInto(res); err != nil {
+		t.Fatal(err)
+	}
+	first := &res.Labels[0]
+	if err := s.AddEdges([]Edge{{U: 0, V: 32}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.ComponentsInto(res); err != nil {
+		t.Fatal(err)
+	}
+	if &res.Labels[0] != first {
+		t.Fatal("ComponentsInto reallocated the label buffer despite sufficient capacity")
+	}
+}

@@ -1,0 +1,79 @@
+package baseline
+
+import (
+	"fmt"
+
+	"parcc/internal/graph"
+)
+
+// IncOracle is the incremental-vs-scratch referee: it maintains the same
+// edge-multiset semantics as the Solver's AddEdges/RemoveEdges but answers
+// every query with a cold from-scratch union-find solve, so tests can
+// assert the live incremental partition against an implementation that
+// shares none of its machinery.  Deliberately unoptimized and sequential;
+// uncharged (it exists for verification, not serving).  Not safe for
+// concurrent use.
+type IncOracle struct {
+	g *graph.Graph
+}
+
+// NewIncOracle starts an oracle over a deep copy of g (the caller's graph
+// is never touched).
+func NewIncOracle(g *graph.Graph) *IncOracle {
+	return &IncOracle{g: g.Clone()}
+}
+
+// AddEdges appends the batch, mirroring Solver.AddEdges.
+func (o *IncOracle) AddEdges(batch []graph.Edge) error {
+	for _, e := range batch {
+		if e.U < 0 || int(e.U) >= o.g.N || e.V < 0 || int(e.V) >= o.g.N {
+			return fmt.Errorf("baseline: edge (%d,%d) out of range [0,%d)", e.U, e.V, o.g.N)
+		}
+	}
+	o.g.Edges = append(o.g.Edges, batch...)
+	return nil
+}
+
+// RemoveEdges removes one occurrence per batch entry, matching either
+// orientation of an undirected edge — the Solver's multiset semantics.  A
+// batch entry with no remaining occurrence is an error, and the graph is
+// left unchanged.
+func (o *IncOracle) RemoveEdges(batch []graph.Edge) error {
+	need := make(map[int64]int, len(batch))
+	for _, e := range batch {
+		if e.U < 0 || int(e.U) >= o.g.N || e.V < 0 || int(e.V) >= o.g.N {
+			return fmt.Errorf("baseline: edge (%d,%d) out of range [0,%d)", e.U, e.V, o.g.N)
+		}
+		need[e.CanonKey()]++
+	}
+	have := make(map[int64]int, len(need))
+	for _, e := range o.g.Edges {
+		k := e.CanonKey()
+		if need[k] > have[k] {
+			have[k]++
+		}
+	}
+	for k, n := range need {
+		if have[k] < n {
+			u, v := int32(k>>32), int32(uint32(k))
+			return fmt.Errorf("baseline: %d missing occurrence(s) of edge (%d,%d)", n-have[k], u, v)
+		}
+	}
+	kept := o.g.Edges[:0]
+	for _, e := range o.g.Edges {
+		if k := e.CanonKey(); need[k] > 0 {
+			need[k]--
+			continue
+		}
+		kept = append(kept, e)
+	}
+	o.g.Edges = kept
+	return nil
+}
+
+// Labels answers the current query with a cold union-find solve.
+func (o *IncOracle) Labels() []int32 { return UnionFindLabels(o.g) }
+
+// Graph exposes the oracle's live graph (read-only: mutate only through
+// AddEdges/RemoveEdges).
+func (o *IncOracle) Graph() *graph.Graph { return o.g }

@@ -1,0 +1,43 @@
+package baseline
+
+import (
+	"testing"
+
+	"parcc/internal/graph"
+)
+
+// TestIncOracleMultisetSemantics: the referee itself must honor the
+// documented multiset semantics — one occurrence per entry, either
+// orientation, error (without mutation) on a missing occurrence.
+func TestIncOracleMultisetSemantics(t *testing.T) {
+	g := graph.FromPairs(4, [][2]int{{0, 1}, {1, 0}, {2, 3}})
+	o := NewIncOracle(g)
+	if g.M() != 3 {
+		t.Fatal("oracle must clone, not adopt")
+	}
+	if err := o.RemoveEdges([]graph.Edge{{U: 0, V: 1}}); err != nil {
+		t.Fatal(err)
+	}
+	if o.Graph().M() != 2 {
+		t.Fatalf("m = %d, want 2 (one occurrence removed)", o.Graph().M())
+	}
+	if err := o.RemoveEdges([]graph.Edge{{U: 1, V: 0}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := o.RemoveEdges([]graph.Edge{{U: 0, V: 1}}); err == nil {
+		t.Fatal("exhausted occurrence must error")
+	}
+	if o.Graph().M() != 1 {
+		t.Fatal("failed removal must not mutate")
+	}
+	if err := o.AddEdges([]graph.Edge{{U: 0, V: 9}}); err == nil {
+		t.Fatal("out-of-range endpoint must error")
+	}
+	if err := o.AddEdges([]graph.Edge{{U: 0, V: 2}}); err != nil {
+		t.Fatal(err)
+	}
+	labels := o.Labels()
+	if labels[0] != labels[2] || labels[0] == labels[1] {
+		t.Fatalf("labels = %v after {0-2},{2-3} with 1 isolated", labels)
+	}
+}

@@ -9,6 +9,7 @@
 package bench
 
 import (
+	"encoding/json"
 	"fmt"
 	"runtime"
 	"sort"
@@ -157,6 +158,26 @@ func (t *Table) CSV() string {
 	return b.String()
 }
 
+// JSON renders the table as a machine-readable document — the format CI
+// publishes (BENCH_inc.json) so successive PRs accumulate a throughput
+// trajectory that tooling can diff.
+func (t *Table) JSON() string {
+	doc := struct {
+		ID      string     `json:"id"`
+		Title   string     `json:"title"`
+		Claim   string     `json:"claim,omitempty"`
+		Columns []string   `json:"columns"`
+		Rows    [][]string `json:"rows"`
+		Notes   []string   `json:"notes,omitempty"`
+	}{t.ID, t.Title, t.Claim, t.Columns, t.Rows, t.Notes}
+	out, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		// The struct is marshal-safe by construction; keep the CLI alive.
+		return "{}"
+	}
+	return string(out) + "\n"
+}
+
 // Experiment couples an ID to its runner.
 type Experiment struct {
 	ID    string
@@ -186,6 +207,7 @@ func All() []Experiment {
 		{"E17", "ablation: EXPAND-MAXLINK budgets (§5.2)", E17BudgetGrid},
 		{"SP", "concurrent backend self-speedup T1/TP (internal/par)", SPSelfSpeedup},
 		{"QPS", "repeated-solve throughput: one-shot vs Solver session", QPSSessionReuse},
+		{"INC", "incremental updates: live session vs cold re-solve", INCIncrementalUpdates},
 	}
 }
 

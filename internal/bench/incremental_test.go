@@ -1,0 +1,48 @@
+package bench
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// TestINCSpeedupAndShape: the small-scale INC experiment must produce the
+// three workloads and show the insert-only live path beating cold
+// re-solves (the full-scale acceptance bar is 5× at n=2^16; small scale
+// must already clear 2× or the incremental path is broken).
+func TestINCSpeedupAndShape(t *testing.T) {
+	tab := INCIncrementalUpdates(Config{Scale: Small, Seed: 3})
+	if len(tab.Rows) != 3 {
+		t.Fatalf("rows = %d, want 3 workloads", len(tab.Rows))
+	}
+	if tab.Rows[0][0] != "insert-only" {
+		t.Fatalf("first workload = %q", tab.Rows[0][0])
+	}
+	speedup, err := strconv.ParseFloat(tab.Rows[0][len(tab.Columns)-1], 64)
+	if err != nil {
+		t.Fatalf("speedup cell %q: %v", tab.Rows[0][len(tab.Columns)-1], err)
+	}
+	if speedup < 2 {
+		t.Errorf("insert-only incremental speedup = %.2fx, want ≥ 2x even at small scale", speedup)
+	}
+}
+
+// TestTableJSON: the published BENCH_inc.json format is valid and carries
+// the table contents.
+func TestTableJSON(t *testing.T) {
+	tab := &Table{ID: "X", Title: "t", Columns: []string{"a", "b"}}
+	tab.Add("1", 2.5)
+	tab.Note("n")
+	j := tab.JSON()
+	for _, want := range []string{`"id": "X"`, `"columns"`, `"2.5"`, `"notes"`} {
+		if !strings.Contains(j, want) {
+			t.Errorf("JSON missing %s in:\n%s", want, j)
+		}
+	}
+}
+
+func BenchmarkINCIncrementalUpdates(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		INCIncrementalUpdates(Config{Scale: Small, Seed: 1})
+	}
+}

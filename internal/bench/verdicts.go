@@ -87,4 +87,14 @@ var Verdicts = map[string]string{
 		"allocation per charged loop by construction, so their session gain is " +
 		"bounded — arena reuse trims allocs ~5–10% and the pool/machine reuse shows " +
 		"up at smaller instances where per-call setup is a visible fraction.",
+	"INC": "Engineering measurement, not a paper claim — the paper is static " +
+		"connectivity; the serving layer maintains the partition incrementally and " +
+		"falls back to the paper's pipeline only on deletions.  Insert-only streams " +
+		"run ~126× (small, n=2¹²) to ~194× (full, n=2¹⁶) faster than cold re-solves " +
+		"because AddEdges does O(batch·α) CAS union-find work while a re-solve " +
+		"re-pays O(m+n); the gap widens with graph size as predicted.  Mixed " +
+		"(75/25) streams hold ≈4–6×; delete-heavy streams degrade toward ≈2.3× " +
+		"because a deletion's dirty component on a near-connected graph approaches " +
+		"the whole graph, at which point the scoped re-solve honestly is a full " +
+		"solve.  Final component counts are asserted equal on every run.",
 }

@@ -2,6 +2,13 @@
 // throughout the repository.  Following the paper (§2.1), graphs may contain
 // self-loops and parallel edges; vertices are 0..N-1; a self-loop counts once
 // toward its endpoint's degree.
+//
+// Everything in this package is uncharged serving infrastructure: no PRAM
+// cost is booked here (the machine in internal/pram charges the model; this
+// package only represents inputs and builds adjacency).  Unless a symbol's
+// comment says otherwise, functions are single-threaded, values are safe
+// for any number of concurrent readers once built, and nothing is safe for
+// concurrent mutation.
 package graph
 
 import (
@@ -14,6 +21,18 @@ import (
 // Edge is an undirected edge between U and V (possibly U == V).
 type Edge struct {
 	U, V int32
+}
+
+// CanonKey packs the edge into a 64-bit multiset key with the smaller
+// endpoint in the high word, so both orientations of an undirected edge
+// collide — the one canonical form shared by Simplify's dedup and the
+// incremental path's remove-batch matching.  O(1), pure, safe anywhere.
+func (e Edge) CanonKey() int64 {
+	u, v := e.U, e.V
+	if u > v {
+		u, v = v, u
+	}
+	return int64(u)<<32 | int64(uint32(v))
 }
 
 // Graph is an undirected multigraph on vertices 0..N-1.
@@ -106,7 +125,10 @@ func (c *CSR) Deg(v int32) int { return int(c.Off[v+1] - c.Off[v]) }
 // Neighbors returns the adjacency slice of v (do not modify).
 func (c *CSR) Neighbors(v int32) []int32 { return c.Nbr[c.Off[v]:c.Off[v+1]] }
 
-// BuildCSR constructs adjacency lists for g.
+// BuildCSR constructs adjacency lists for g by sequential counting sort:
+// O(m+n) time, two passes over the edge list.  Each vertex's neighbors
+// appear in edge-scan order — the canonical layout BuildCSROn and
+// ExtendPlanOn reproduce exactly on any executor.
 func BuildCSR(g *Graph) *CSR {
 	n := g.N
 	cnt := make([]int64, n+1)
@@ -148,7 +170,7 @@ func Simplify(g *Graph) *Graph {
 		if u > v {
 			u, v = v, u
 		}
-		k := int64(u)<<32 | int64(uint32(v))
+		k := e.CanonKey()
 		if _, ok := seen[k]; ok {
 			continue
 		}
@@ -195,7 +217,8 @@ func ReadEdgeList(r io.Reader) (*Graph, error) {
 }
 
 // ComponentsOf groups vertices by label, returning each component's vertex
-// list sorted by the smallest member.
+// list sorted by the smallest member.  O(n log n) sequential presentation
+// helper — hot paths keep flat label arrays instead.
 func ComponentsOf(labels []int32) [][]int32 {
 	byLabel := map[int32][]int32{}
 	for v, l := range labels {
@@ -210,7 +233,8 @@ func ComponentsOf(labels []int32) [][]int32 {
 }
 
 // SamePartition reports whether two labelings induce the same partition of
-// vertices (labels themselves may differ).
+// vertices (labels themselves may differ).  O(n) sequential; the
+// equivalence check every cross-backend and incremental test is built on.
 func SamePartition(a, b []int32) bool {
 	if len(a) != len(b) {
 		return false
@@ -236,7 +260,8 @@ func SamePartition(a, b []int32) bool {
 	return true
 }
 
-// NumLabels returns the number of distinct labels.
+// NumLabels returns the number of distinct labels.  O(n) sequential with a
+// map; solve.NumLabels is the arena-backed equivalent for serving paths.
 func NumLabels(labels []int32) int {
 	set := map[int32]struct{}{}
 	for _, l := range labels {

@@ -33,21 +33,30 @@ type Plan struct {
 	MinDeg, MaxDeg int32
 
 	builtM int    // len(G.Edges) at build time
-	fp     uint64 // content fingerprint of G.Edges at build time
+	fp     uint64 // content fingerprint of G.Edges[:builtM] at build time
 	degs   atomic.Pointer[[]int32]
 }
 
-// edgeFingerprint is an order-sensitive content hash of the edge list (an
-// FNV-style fold).  Validating a cached plan against it costs one cheap
-// pass over the edges — negligible next to any solve, which is Ω(m) — and
-// catches in-place mutation, which a length check alone would miss.
-func edgeFingerprint(edges []Edge) uint64 {
-	h := uint64(0xcbf29ce484222325) ^ uint64(len(edges))
+// fpOffset is the FNV offset basis the edge fingerprint folds from.
+const fpOffset = uint64(0xcbf29ce484222325)
+
+// edgeFold continues an order-sensitive content hash of an edge list (an
+// FNV-style fold) from h.  Because it is a pure left fold, the fingerprint
+// of an extended edge list is edgeFold(fp, added) — which is what lets
+// ExtendPlanOn carry a valid fingerprint forward without rescanning the
+// prefix.  Uncharged helper; single-threaded.
+func edgeFold(h uint64, edges []Edge) uint64 {
 	for _, e := range edges {
 		h = (h ^ (uint64(uint32(e.U))<<32 | uint64(uint32(e.V)))) * 0x100000001b3
 	}
 	return h
 }
+
+// edgeFingerprint is the fold over a whole edge list.  Validating a cached
+// plan against it costs one cheap pass over the edges — negligible next to
+// any solve, which is Ω(m) — and catches in-place mutation, which a length
+// check alone would miss.
+func edgeFingerprint(edges []Edge) uint64 { return edgeFold(fpOffset, edges) }
 
 // NewPlan builds a plan single-threaded.
 func NewPlan(g *Graph) *Plan { return BuildPlanOn(nil, g) }
@@ -80,6 +89,13 @@ func BuildPlanOn(e Exec, g *Graph) *Plan {
 func (p *Plan) Valid() bool {
 	return p.builtM == len(p.G.Edges) && p.fp == edgeFingerprint(p.G.Edges)
 }
+
+// ValidQuick is the O(1) structural check behind Options.TrustGraph: it
+// catches appends and removals (the edge count changed) but trusts the
+// caller not to have mutated existing edges in place, skipping Valid's
+// O(m) fingerprint pass.  Steady-state serving on an unchanging graph
+// uses it to make plan-cache validation free.
+func (p *Plan) ValidQuick() bool { return p.builtM == len(p.G.Edges) }
 
 // Degree returns the degree of v from the cached adjacency.
 func (p *Plan) Degree(v int32) int { return p.CSR.Deg(v) }

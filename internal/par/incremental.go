@@ -1,0 +1,48 @@
+package par
+
+import (
+	"sync/atomic"
+
+	"parcc/internal/graph"
+)
+
+// Incremental-connectivity kernels: the batched form of the CAS union-find
+// used by Solver.AddEdges, and the partition splice that installs a scoped
+// re-solve's labels back into the live forest after Solver.RemoveEdges.
+// Both are uncharged serving helpers (no PRAM cost is booked); their
+// concurrency contracts are stated per kernel.
+
+// UniteBatch runs Unite over every non-loop edge of batch on e and returns
+// the number of unions that actually merged two distinct sets — the
+// component-count delta the caller maintains.  O(|batch|·α) amortized work,
+// parallel over the batch; the merge count is exact under any interleaving
+// because Unite reports success precisely for the winning CAS of each
+// merge.  The resulting partition (and, at quiescence, every root, which is
+// its component's minimum reachable representative) is deterministic for
+// any procs and schedule; concurrent Find/Unite on the same forest is safe,
+// concurrent readers that bypass Find are not.
+func UniteBatch(e Exec, p []int32, batch []graph.Edge) int {
+	var merges atomic.Int64
+	e.Run(len(batch), func(i int) {
+		ed := batch[i]
+		if ed.U != ed.V && Unite(p, ed.U, ed.V) {
+			merges.Add(1)
+		}
+	})
+	return int(merges.Load())
+}
+
+// SpliceLabels installs a scoped re-solve's partition into the global
+// forest: for each selected vertex verts[i], the parent becomes the global
+// id of its sub-solve representative, p[verts[i]] = verts[sub[i]].  Because
+// a representative's own label is itself, the spliced region comes out as
+// a flat two-level forest (roots self-parented), ready for further Unite
+// batches.  O(|verts|) work, parallel over verts; writes are disjoint
+// (verts has no duplicates) so no atomics are needed, but no concurrent
+// Find/Unite may run during the splice — the Solver serializes mutations
+// under the session lock.
+func SpliceLabels(e Exec, p []int32, verts, sub []int32) {
+	e.Run(len(verts), func(i int) {
+		p[verts[i]] = verts[sub[i]]
+	})
+}

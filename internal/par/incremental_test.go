@@ -1,0 +1,62 @@
+package par
+
+import (
+	"testing"
+
+	"parcc/internal/graph"
+)
+
+// TestUniteBatchMergeCount: the reported merge count must equal the drop
+// in the number of sets, under every procs count, with loops and parallel
+// edges in the batch.
+func TestUniteBatchMergeCount(t *testing.T) {
+	edges := []graph.Edge{
+		{U: 0, V: 1}, {U: 1, V: 0}, {U: 2, V: 3}, {U: 3, V: 4},
+		{U: 5, V: 5}, {U: 6, V: 7}, {U: 0, V: 4},
+	}
+	for _, procs := range []int{1, 2, 4} {
+		rt := New(Procs(procs))
+		p := make([]int32, 9)
+		for i := range p {
+			p[i] = int32(i)
+		}
+		merges := UniteBatch(rt, p, edges)
+		if merges != 5 { // {0,1}+{2,3,4} fuse into {0..4}; {6,7}; loop & dup no-ops
+			t.Fatalf("procs=%d: merges = %d, want 5", procs, merges)
+		}
+		Compress(rt, p)
+		for _, pair := range [][2]int{{0, 4}, {2, 1}, {6, 7}} {
+			if p[pair[0]] != p[pair[1]] {
+				t.Fatalf("procs=%d: %d and %d not merged", procs, pair[0], pair[1])
+			}
+		}
+		if p[5] != 5 || p[8] != 8 {
+			t.Fatalf("procs=%d: singletons moved", procs)
+		}
+		rt.Close()
+	}
+}
+
+// TestSpliceLabels: the scoped re-solve's sub-space labels must land as a
+// flat forest over the selected vertices only.
+func TestSpliceLabels(t *testing.T) {
+	rt := New(Procs(2))
+	defer rt.Close()
+	p := []int32{0, 0, 0, 0, 4, 4} // {0,1,2,3} and {4,5}
+	verts := []int32{0, 1, 2, 3}   // dirty component, compact ids 0..3
+	sub := []int32{0, 0, 2, 2}     // re-solve split it into {0,1} and {2,3}
+	SpliceLabels(rt, p, verts, sub)
+	want := []int32{0, 0, 2, 2, 4, 4}
+	for v, w := range want {
+		if p[v] != w {
+			t.Fatalf("p = %v, want %v", p, want)
+		}
+	}
+	// Roots are self-parented: further Unite batches work on the result.
+	if m := UniteBatch(rt, p, []graph.Edge{{U: 1, V: 3}}); m != 1 {
+		t.Fatalf("post-splice unite merges = %d, want 1", m)
+	}
+	if Find(p, 0) != Find(p, 2) {
+		t.Fatal("post-splice unite did not merge the split halves")
+	}
+}

@@ -19,12 +19,44 @@ import (
 
 // Ctx carries the borrowed per-solve state.  The machine is always
 // non-nil; a nil Arena degrades every Grab to make (one-shot mode); a nil
-// plan provider builds plans on demand without caching.
+// plan provider builds plans on demand without caching.  A Ctx is owned by
+// the session's single orchestrating goroutine and must never be shared
+// across concurrent solves — the same discipline as the arena and machine
+// it wraps.  The Grab/Release accessors are uncharged (scratch management
+// is serving infrastructure, not PRAM work); charged helpers (VertexSet,
+// NumLabels via Contract) say so explicitly.
 type Ctx struct {
 	M *pram.Machine
 	A *par.Arena
 
 	planFn func(*graph.Graph) *graph.Plan
+	inc    *IncScratch
+}
+
+// IncScratch is the dirty-set scratch of the incremental path: the working
+// buffers Solver.RemoveEdges needs to extract and re-solve the subgraph
+// induced by the components its deletions touched.  It lives on the Ctx so
+// the buffers persist across batches — a steady stream of deletion batches
+// reuses one set of backings instead of reallocating per batch.  All
+// fields are plain reusable storage with no invariants between calls;
+// owned by the session's single orchestrating goroutine (the same
+// discipline as the arena), never shared.
+type IncScratch struct {
+	// Verts lists the dirty vertices (global ids) of the current batch.
+	Verts []int32
+	// Sub is the reused backing for the induced dirty subgraph.
+	Sub *graph.Graph
+	// SubLabels is the reused label output of the scoped re-solve.
+	SubLabels []int32
+}
+
+// Inc returns the context's incremental scratch, lazily created.  Uncharged
+// accessor; see IncScratch for the ownership contract.
+func (c *Ctx) Inc() *IncScratch {
+	if c.inc == nil {
+		c.inc = &IncScratch{}
+	}
+	return c.inc
 }
 
 // New returns a bare one-shot context around m: no arena, no plan cache.

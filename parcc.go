@@ -128,6 +128,11 @@ const (
 	// contraction of linear work), since CAS retry counts are not a PRAM
 	// quantity.
 	CASUnite Algorithm = "cas"
+	// Incremental is the value Result.Algorithm echoes for results produced
+	// by the live-update path (Solver.Components after AddEdges/
+	// RemoveEdges).  It is not selectable in Options — the incremental
+	// machinery is driven through Solver.Attach, not through Solve.
+	Incremental Algorithm = "incremental"
 )
 
 // Backend selects the execution engine ConnectedComponents runs on.
@@ -178,6 +183,17 @@ type Options struct {
 	Params *core.Params
 	// KnownGapB is the degree target b for FLSKnownGap (default 16).
 	KnownGapB int
+	// TrustGraph promises that graphs handed to this solver are never
+	// mutated in place between solves (appending or removing edges is
+	// still detected — only same-length overwrites of existing edges go
+	// unnoticed).  With the promise, the session's plan-cache validation
+	// drops from an O(m) content-fingerprint pass per solve to an O(1)
+	// length check, which matters exactly in steady-state serving where
+	// the graph never changes and the fingerprint scan would otherwise be
+	// the only O(m) term left on the warm path.  The tradeoff is
+	// documented in docs/ARCHITECTURE.md: break the promise and a warm
+	// solver serves labels computed from a stale adjacency.
+	TrustGraph bool
 }
 
 // Result reports the labeling and the PRAM cost of a run.
@@ -230,7 +246,8 @@ func ConnectedComponents(g *Graph, opt *Options) (*Result, error) {
 	return s.Solve(g)
 }
 
-// SameComponent reports whether u and v received the same label.
+// SameComponent reports whether u and v received the same label.  O(1);
+// safe for concurrent readers of an unchanging Result.
 func (r *Result) SameComponent(u, v int) bool {
 	return r.Labels[u] == r.Labels[v]
 }
@@ -238,7 +255,9 @@ func (r *Result) SameComponent(u, v int) bool {
 // Components groups vertices by label, ordered by smallest member.
 func (r *Result) Components() [][]int32 { return graph.ComponentsOf(r.Labels) }
 
-// Verify checks r.Labels against a sequential BFS of g.
+// Verify checks r.Labels against a sequential BFS of g: O(m+n) uncharged
+// single-threaded ground truth, safe to call concurrently with other
+// readers of g.
 func Verify(g *Graph, labels []int32) bool {
 	return graph.SamePartition(baseline.BFSLabels(g), labels)
 }

@@ -46,10 +46,11 @@ type Solver struct {
 	mu     sync.Mutex
 	m      *pram.Machine
 	rt     *par.Runtime // concurrent-backend pool (nil otherwise)
-	casRT  *par.Runtime // lazy pool for CASUnite under other backends
+	casRT  *par.Runtime // lazy pool for CASUnite and the incremental kernels
 	arena  *par.Arena
 	cx     *solve.Ctx  // persistent solve context (machine+arena+plan cache)
 	plan   *graph.Plan // single-slot plan cache (most recent graph)
+	inc    *incSession // live incremental session (nil until Attach)
 	closed bool
 }
 
@@ -191,16 +192,9 @@ func (s *Solver) SolveInto(g *Graph, res *Result) error {
 	case ParBFS:
 		res.Labels = baseline.ParallelBFSInto(cx, g, dst)
 	case CASUnite:
-		cas := s.rt
-		if cas == nil {
-			if s.casRT == nil {
-				s.casRT = par.New(par.Procs(s.procs), par.Seed(s.seed))
-			}
-			cas = s.casRT
-		}
 		// Nominal model charge: one O(log n)-deep linear-work contraction.
 		m.Contract(prim.Log2Ceil(g.N+2)+1, int64(2*g.M()+g.N), func() {
-			res.Labels = par.ComponentsInto(cas, g, dst)
+			res.Labels = par.ComponentsInto(s.casExec(), g, dst)
 		})
 	case UnionFind:
 		res.Labels = baseline.UnionFindLabelsInto(cx, g, dst)
@@ -238,22 +232,70 @@ func (s *Solver) ComponentSpectralGaps(g *Graph) []float64 {
 	return spectral.ComponentGapsOn(s.Plan(g), nil)
 }
 
-// planFor is the single-slot plan cache (callers hold s.mu).  On a closed
-// solver the pool is gone, so the plan is built sequentially and not
-// cached — Plan/SpectralGap degrade gracefully instead of panicking on the
-// released runtime.
+// casExec returns the runtime the uncharged CAS kernels (cas-unite, the
+// incremental unite/splice/compress batches) run on: the session pool for
+// the concurrent backend, else a lazily built pool at the session's procs
+// (procs is 1 for the sequential backend, so those kernels stay
+// single-threaded and deterministic there).  Callers hold s.mu.
+func (s *Solver) casExec() *par.Runtime {
+	if s.rt != nil {
+		return s.rt
+	}
+	if s.casRT == nil {
+		s.casRT = par.New(par.Procs(s.procs), par.Seed(s.seed))
+	}
+	return s.casRT
+}
+
+// planFor is the single-slot plan cache (callers hold s.mu).  Validation
+// honors Options.TrustGraph: the default revalidates edge content with an
+// O(m) fingerprint pass (catching in-place mutation), TrustGraph checks
+// only the edge count.  A cached plan whose graph has grown by appended
+// edges is extended in place (old adjacency memcpy + scatter of the new
+// endpoints) rather than rebuilt by counting sort — the delta path
+// AddEdges relies on.  On a closed solver the pool is gone, so the plan is
+// built sequentially and not cached — Plan/SpectralGap degrade gracefully
+// instead of panicking on the released runtime.
 func (s *Solver) planFor(g *graph.Graph) *graph.Plan {
 	if s.closed {
 		return graph.NewPlan(g)
 	}
-	if s.plan == nil || s.plan.G != g || !s.plan.Valid() {
-		var e graph.Exec
-		if s.rt != nil {
-			e = s.rt
-		}
-		s.plan = graph.BuildPlanOn(e, g)
+	var e graph.Exec
+	if s.rt != nil {
+		e = s.rt
 	}
+	if s.plan != nil && s.plan.G == g {
+		if s.planStillValid() {
+			return s.plan
+		}
+		if np := graph.ExtendPlanOn(e, s.plan, g); np != nil {
+			// The extension trusts the prefix, so verify it — even under
+			// TrustGraph, whose promise covers only same-length overwrites:
+			// a caller that compacted edges out and appended others changes
+			// the length, and must be caught here, not served stale labels.
+			// The one provable exception is the session-owned live graph,
+			// whose mutations all pass through AddEdges/RemoveEdges under
+			// this same lock (and RemoveEdges drops the plan), so its
+			// prefix cannot have been rewritten — skipping the O(m) scan
+			// there keeps AddEdges-then-solve streams on the delta path's
+			// O(batch) cost.  A mutated prefix falls through to rebuild.
+			if (s.inc != nil && s.inc.g == g) || np.Valid() {
+				s.plan = np
+				return s.plan
+			}
+		}
+	}
+	s.plan = graph.BuildPlanOn(e, g)
 	return s.plan
+}
+
+// planStillValid applies the option-selected validation to the cached plan
+// (callers hold s.mu and have checked s.plan.G).
+func (s *Solver) planStillValid() bool {
+	if s.opt.TrustGraph {
+		return s.plan.ValidQuick()
+	}
+	return s.plan.Valid()
 }
 
 func knownAlgorithm(a Algorithm) bool {
