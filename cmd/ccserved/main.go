@@ -1,0 +1,113 @@
+// Command ccserved serves connectivity as a service: a multi-graph query
+// engine (internal/service) over HTTP/JSON.  Each named graph is a live
+// incremental parcc.Solver session behind a single-writer/many-reader
+// discipline — point queries answer lock-free from an immutable label
+// snapshot, mutations are coalesced into batches on a per-graph writer.
+//
+// docs/OPERATIONS.md is the deployment and tuning guide, including the
+// full endpoint reference.  Quick start:
+//
+//	ccserved -addr :8080 -backend concurrent &
+//	curl -X PUT localhost:8080/graphs/demo -d '{"n":6,"edges":[[0,1],[1,2]]}'
+//	curl -X POST localhost:8080/graphs/demo/edges -d '{"edges":[[2,3]]}'
+//	curl 'localhost:8080/graphs/demo/connected?u=0&v=3'
+//
+// Graphs can be preloaded from generator specs at startup:
+//
+//	ccserved -preload web=expander:n=65536,d=8 -preload mesh=grid:r=256,c=256
+//
+// On SIGINT/SIGTERM the server drains gracefully: in-flight HTTP requests
+// finish, queued mutation batches are applied, then every session is
+// released.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"parcc"
+	"parcc/internal/cli"
+	"parcc/internal/service"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":8080", "listen address")
+		backend  = flag.String("backend", "", "solver backend per session: sequential | concurrent (default: legacy simulator)")
+		procs    = flag.Int("procs", 0, "parallelism of each session's concurrent backend (0 = NumCPU)")
+		seed     = flag.Uint64("seed", 1, "solver seed")
+		trust    = flag.Bool("trust", true, "set Options.TrustGraph (safe here: the engine owns every live graph)")
+		window   = flag.Duration("window", 0, "batch-coalesce window per shard writer (0 = coalesce only what is queued)")
+		maxBatch = flag.Int("maxbatch", 1<<16, "max edges combined into one coalesced apply")
+		queue    = flag.Int("queue", 256, "per-shard mutation queue depth (back pressure beyond it)")
+		drain    = flag.Duration("drain", 15*time.Second, "graceful shutdown timeout for in-flight HTTP requests")
+	)
+	var preloads []string
+	flag.Func("preload", "name=genspec graph to create at startup (repeatable), e.g. web=expander:n=65536,d=8", func(s string) error {
+		preloads = append(preloads, s)
+		return nil
+	})
+	flag.Parse()
+
+	switch strings.ToLower(*backend) {
+	case "", "sequential", "concurrent":
+	default:
+		fmt.Fprintf(os.Stderr, "ccserved: unknown backend %q (want sequential or concurrent)\n", *backend)
+		os.Exit(1)
+	}
+	eng := service.New(service.Options{
+		Solver: &parcc.Options{
+			Backend:    parcc.Backend(strings.ToLower(*backend)),
+			Procs:      *procs,
+			Seed:       *seed,
+			TrustGraph: *trust,
+		},
+		CoalesceWindow: *window,
+		MaxBatchEdges:  *maxBatch,
+		QueueDepth:     *queue,
+	})
+
+	for _, p := range preloads {
+		name, spec, ok := strings.Cut(p, "=")
+		if !ok || name == "" {
+			log.Fatalf("ccserved: -preload wants name=genspec, got %q", p)
+		}
+		g, err := cli.LoadGraph("", spec)
+		if err != nil {
+			log.Fatalf("ccserved: preload %q: %v", name, err)
+		}
+		if err := eng.Create(name, g); err != nil {
+			log.Fatalf("ccserved: preload %q: %v", name, err)
+		}
+		log.Printf("preloaded %q: n=%d m=%d", name, g.N, g.M())
+	}
+
+	srv := &http.Server{Addr: *addr, Handler: service.NewHandler(eng)}
+	go func() {
+		log.Printf("ccserved listening on %s", *addr)
+		if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			log.Fatalf("ccserved: %v", err)
+		}
+	}()
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	sig := <-stop
+	log.Printf("ccserved: %v — draining (timeout %v)", sig, *drain)
+	ctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		log.Printf("ccserved: forced shutdown: %v", err)
+	}
+	eng.Close() // applies queued mutation batches, then releases sessions
+	log.Printf("ccserved: drained")
+}

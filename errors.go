@@ -1,0 +1,59 @@
+package parcc
+
+import (
+	"errors"
+	"fmt"
+)
+
+// This file is the error taxonomy of the Solver API.  Every error returned
+// by the session and incremental entry points either is one of the
+// sentinels below or wraps one of the typed errors, so callers (and the
+// serving layer in internal/service, which maps them to HTTP statuses)
+// dispatch with errors.Is / errors.As instead of matching strings:
+//
+//	ErrSolverClosed   — the Solver was Closed; no call succeeds afterwards.
+//	ErrNotAttached    — an incremental call (AddEdges, RemoveEdges,
+//	                    Components, ComponentsInto, PublishSnapshot) before
+//	                    Attach bound a live graph.
+//	ErrNilGraph       — a nil *Graph was passed where a graph is required.
+//	*EdgeRangeError   — a batch edge has an endpoint outside [0, n); the
+//	                    error carries the offending edge and the bound.
+//	*MissingEdgeError — a RemoveEdges batch references more occurrences of
+//	                    some edge than the live multiset holds; the error
+//	                    carries the shortfall.
+//
+// All mutating calls fail without mutating: an error from AddEdges or
+// RemoveEdges leaves the live graph, the partition, and the published
+// snapshot exactly as they were.
+
+// ErrSolverClosed reports a call on a Solver after Close.
+var ErrSolverClosed = errors.New("parcc: solver is closed")
+
+// ErrNotAttached reports an incremental-API call on a Solver with no live
+// graph (Attach has not been called, or the last Attach failed).
+var ErrNotAttached = errors.New("parcc: no live graph attached (call Attach first)")
+
+// ErrNilGraph reports a nil graph argument.
+var ErrNilGraph = errors.New("parcc: nil graph")
+
+// EdgeRangeError reports a batch edge whose endpoint is outside [0, N).
+// Returned (wrapped) by AddEdges and RemoveEdges; match with errors.As.
+type EdgeRangeError struct {
+	Edge Edge // the offending edge
+	N    int  // the live graph's vertex-count bound
+}
+
+func (e *EdgeRangeError) Error() string {
+	return fmt.Sprintf("parcc: edge (%d,%d) out of range [0,%d)", e.Edge.U, e.Edge.V, e.N)
+}
+
+// MissingEdgeError reports a RemoveEdges batch that references more
+// occurrences of some edge than the live multiset holds.  Count is the
+// total shortfall across the batch.  The live graph is unchanged.
+type MissingEdgeError struct {
+	Count int
+}
+
+func (e *MissingEdgeError) Error() string {
+	return fmt.Sprintf("parcc: remove batch includes %d edge occurrence(s) not in the live graph", e.Count)
+}

@@ -1,0 +1,113 @@
+// Connectivity as a service: a minimal client driving the ccserved HTTP
+// API — attach a graph, stream edge updates, issue point queries.  To be
+// self-contained the example starts the same engine+handler ccserved
+// serves in-process on a loopback port; point -addr at a running ccserved
+// to drive a real server instead:
+//
+//	go run ./examples/service                      # in-process server
+//	go run ./cmd/ccserved -addr :8080 &            # or a real one
+//	go run ./examples/service -addr 127.0.0.1:8080
+//
+// docs/OPERATIONS.md documents every endpoint used here.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"strings"
+
+	"parcc/internal/service"
+)
+
+func main() {
+	addr := flag.String("addr", "", "address of a running ccserved (empty: serve in-process)")
+	flag.Parse()
+
+	base := *addr
+	if base == "" {
+		// In-process ccserved: the same engine and handler the binary runs.
+		eng := service.New(service.Options{})
+		defer eng.Close()
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			log.Fatal(err)
+		}
+		go http.Serve(ln, service.NewHandler(eng))
+		base = ln.Addr().String()
+		fmt.Printf("in-process ccserved on %s\n\n", base)
+	}
+	url := "http://" + base
+
+	// 1. Attach a graph: two triangles, not yet connected.
+	fmt.Println("PUT /graphs/demo — two triangles:")
+	post(url+"/graphs/demo", "PUT",
+		`{"n":6,"edges":[[0,1],[1,2],[2,0],[3,4],[4,5],[5,3]]}`)
+
+	// 2. Point queries answer lock-free from the published snapshot.
+	fmt.Println("\npoint queries:")
+	get(url + "/graphs/demo/connected?u=0&v=5")
+	get(url + "/graphs/demo/component?u=4")
+	get(url + "/graphs/demo/count")
+
+	// 3. Stream edge updates: a bridge appears, then is retracted.  Each
+	// mutation returns after its batch is applied AND the refreshed
+	// snapshot is published — the next query observes it.
+	fmt.Println("\nPOST /graphs/demo/edges — bridge the triangles:")
+	post(url+"/graphs/demo/edges", "POST", `{"edges":[[2,3]]}`)
+	get(url + "/graphs/demo/connected?u=0&v=5")
+	fmt.Println("\nPOST /graphs/demo/edges/remove — retract the bridge:")
+	post(url+"/graphs/demo/edges/remove", "POST", `{"edges":[[2,3]]}`)
+	get(url + "/graphs/demo/connected?u=0&v=5")
+
+	// 4. The NDJSON batch endpoint: one op per line, one result per line,
+	// reads observing earlier writes in the same stream.
+	fmt.Println("\nPOST /graphs/demo/batch (NDJSON stream):")
+	post(url+"/graphs/demo/batch", "POST", strings.Join([]string{
+		`{"op":"count"}`,
+		`{"op":"add","edges":[[0,3],[1,4]]}`,
+		`{"op":"connected","u":0,"v":5}`,
+		`{"op":"component","u":5}`,
+		`{"op":"remove","edges":[[0,3],[1,4]]}`,
+		`{"op":"count"}`,
+	}, "\n"))
+
+	// 5. Serving counters.
+	fmt.Println("\nGET /stats:")
+	get(url + "/stats")
+}
+
+func get(url string) {
+	resp, err := http.Get(url)
+	if err != nil {
+		log.Fatal(err)
+	}
+	show(resp)
+}
+
+func post(url, method, body string) {
+	req, err := http.NewRequest(method, url, strings.NewReader(body))
+	if err != nil {
+		log.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		log.Fatal(err)
+	}
+	show(resp)
+}
+
+func show(resp *http.Response) {
+	defer resp.Body.Close()
+	out, err := io.ReadAll(resp.Body)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  %s %s", resp.Status, out)
+	if len(out) == 0 {
+		fmt.Println()
+	}
+}

@@ -48,7 +48,7 @@ type incSession struct {
 // session's runtime — not a charged PRAM run.
 func (s *Solver) Attach(g *Graph) error {
 	if g == nil {
-		return fmt.Errorf("parcc: nil graph")
+		return ErrNilGraph
 	}
 	if err := g.Validate(); err != nil {
 		return fmt.Errorf("parcc: %w", err)
@@ -56,7 +56,7 @@ func (s *Solver) Attach(g *Graph) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
-		return fmt.Errorf("parcc: solver is closed")
+		return ErrSolverClosed
 	}
 	e := s.casExec()
 	p := make([]int32, g.N)
@@ -64,6 +64,10 @@ func (s *Solver) Attach(g *Graph) error {
 	merges := par.UniteBatch(e, p, g.Edges)
 	par.Compress(e, p)
 	s.inc = &incSession{g: g, parent: p, ncomp: g.N - merges}
+	// Unpublish: a snapshot of the previous live graph must not answer for
+	// the new one.  The version counter keeps running, so a reader that
+	// kept the old pointer can still tell the views apart.
+	s.snap.Store(nil)
 	return nil
 }
 
@@ -97,7 +101,7 @@ func (s *Solver) AddEdges(batch []Edge) error {
 	n := inc.g.N
 	for _, e := range batch {
 		if e.U < 0 || int(e.U) >= n || e.V < 0 || int(e.V) >= n {
-			return fmt.Errorf("parcc: edge (%d,%d) out of range [0,%d)", e.U, e.V, n)
+			return &EdgeRangeError{Edge: e, N: n}
 		}
 	}
 	if len(batch) == 0 {
@@ -142,7 +146,7 @@ func (s *Solver) RemoveEdges(batch []Edge) error {
 	need := make(map[int64]int, len(batch))
 	for _, e := range batch {
 		if e.U < 0 || int(e.U) >= n || e.V < 0 || int(e.V) >= n {
-			return fmt.Errorf("parcc: edge (%d,%d) out of range [0,%d)", e.U, e.V, n)
+			return &EdgeRangeError{Edge: e, N: n}
 		}
 		need[e.CanonKey()]++
 	}
@@ -156,7 +160,7 @@ func (s *Solver) RemoveEdges(batch []Edge) error {
 		}
 	}
 	if remain > 0 {
-		return fmt.Errorf("parcc: remove batch includes %d edge occurrence(s) not in the live graph", remain)
+		return &MissingEdgeError{Count: remain}
 	}
 	for _, e := range batch {
 		need[e.CanonKey()]++
@@ -271,13 +275,15 @@ func (s *Solver) ComponentsInto(res *Result) error {
 }
 
 // incReady reports the live session, erroring when there is none or the
-// solver is closed (callers hold s.mu).
+// solver is closed (callers hold s.mu).  The errors are the taxonomy's
+// sentinels — ErrSolverClosed and ErrNotAttached — so every incremental
+// entry point fails in a form callers can dispatch on with errors.Is.
 func (s *Solver) incReady() (*incSession, error) {
 	if s.closed {
-		return nil, fmt.Errorf("parcc: solver is closed")
+		return nil, ErrSolverClosed
 	}
 	if s.inc == nil {
-		return nil, fmt.Errorf("parcc: no live graph attached (call Attach first)")
+		return nil, ErrNotAttached
 	}
 	return s.inc, nil
 }

@@ -1,0 +1,22 @@
+package par
+
+import "sync/atomic"
+
+// SnapshotLabels is the snapshot-publish kernel behind Solver
+// .PublishSnapshot: it resolves every vertex of the parent forest p to its
+// root without mutating p, writing the flattened labels into dst and
+// tallying per-component sizes into sizes (indexed by root id; the caller
+// supplies it zeroed).  O(n · depth) work, parallel over the vertices —
+// the caller flattens the forest first (Compress) when chains may be long,
+// making the chases O(1) and the kernel a straight parallel copy+count.
+//
+// p is only read (atomically), so the kernel tolerates a forest that
+// concurrent Find calls are still path-halving; dst and sizes must not be
+// shared with any concurrent writer.  Uncharged serving helper.
+func SnapshotLabels(e Exec, p, dst, sizes []int32) {
+	e.Run(len(p), func(v int) {
+		r := chase(p, int32(v))
+		dst[v] = r
+		atomic.AddInt32(&sizes[r], 1)
+	})
+}

@@ -1,0 +1,335 @@
+package service
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+
+	"parcc"
+)
+
+// The HTTP surface of the engine, served by cmd/ccserved and documented
+// endpoint by endpoint in docs/OPERATIONS.md.  Everything is JSON; edges
+// travel as [u,v] pairs.  Read endpoints answer from one snapshot per
+// request (value and version are consistent with each other); mutation
+// endpoints return only after the batch is applied and the refreshed
+// snapshot published, so a client's next read observes its write.
+//
+// Error mapping (the typed taxonomy → status codes):
+//
+//	400  *VertexRangeError, *parcc.EdgeRangeError, malformed JSON/params
+//	404  ErrGraphNotFound
+//	409  ErrGraphExists, *parcc.MissingEdgeError
+//	503  ErrEngineClosed (draining)
+//	500  anything else
+type apiError struct {
+	Error string `json:"error"`
+}
+
+// NewHandler returns the engine's HTTP API.
+func NewHandler(e *Engine) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]any{"graphs": e.Stats()})
+	})
+	mux.HandleFunc("GET /graphs", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]any{"graphs": e.Names()})
+	})
+	mux.HandleFunc("PUT /graphs/{name}", func(w http.ResponseWriter, r *http.Request) {
+		var body struct {
+			N     int        `json:"n"`
+			Edges [][2]int32 `json:"edges"`
+		}
+		if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
+			writeJSON(w, http.StatusBadRequest, apiError{"invalid JSON body: " + err.Error()})
+			return
+		}
+		if body.N < 0 {
+			writeJSON(w, http.StatusBadRequest, apiError{"n must be >= 0"})
+			return
+		}
+		g := parcc.NewGraph(body.N)
+		for _, p := range body.Edges {
+			ed := parcc.Edge{U: p[0], V: p[1]}
+			// Validate here so a bad edge is a 400 (EdgeRangeError), not
+			// Attach's untyped validation error surfacing as a 500.
+			if int(ed.U) < 0 || int(ed.U) >= body.N || int(ed.V) < 0 || int(ed.V) >= body.N {
+				writeError(w, &parcc.EdgeRangeError{Edge: ed, N: body.N})
+				return
+			}
+			g.Edges = append(g.Edges, ed)
+		}
+		name := r.PathValue("name")
+		if err := e.Create(name, g); err != nil {
+			writeError(w, err)
+			return
+		}
+		sn, err := e.Snapshot(name)
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusCreated, map[string]any{
+			"graph": name, "n": body.N, "edges": len(body.Edges),
+			"components": sn.NumComponents(), "version": sn.Version(),
+		})
+	})
+	mux.HandleFunc("DELETE /graphs/{name}", func(w http.ResponseWriter, r *http.Request) {
+		if err := e.Drop(r.PathValue("name")); err != nil {
+			writeError(w, err)
+			return
+		}
+		w.WriteHeader(http.StatusNoContent)
+	})
+	mux.HandleFunc("POST /graphs/{name}/edges", mutateHandler(e, false))
+	mux.HandleFunc("POST /graphs/{name}/edges/remove", mutateHandler(e, true))
+	mux.HandleFunc("GET /graphs/{name}/connected", func(w http.ResponseWriter, r *http.Request) {
+		sn, err := e.Snapshot(r.PathValue("name"))
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		u, err := queryVertex(r, "u", sn.N())
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		v, err := queryVertex(r, "v", sn.N())
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{
+			"connected": sn.Connected(u, v), "version": sn.Version(),
+		})
+	})
+	mux.HandleFunc("GET /graphs/{name}/component", func(w http.ResponseWriter, r *http.Request) {
+		sn, err := e.Snapshot(r.PathValue("name"))
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		u, err := queryVertex(r, "u", sn.N())
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{
+			"component": sn.ComponentOf(u), "size": sn.ComponentSize(u),
+			"version": sn.Version(),
+		})
+	})
+	mux.HandleFunc("GET /graphs/{name}/count", func(w http.ResponseWriter, r *http.Request) {
+		sn, err := e.Snapshot(r.PathValue("name"))
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{
+			"components": sn.NumComponents(), "version": sn.Version(),
+		})
+	})
+	mux.HandleFunc("GET /graphs/{name}/snapshot", func(w http.ResponseWriter, r *http.Request) {
+		sn, err := e.Snapshot(r.PathValue("name"))
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{
+			"n": sn.N(), "components": sn.NumComponents(),
+			"version": sn.Version(), "labels": sn.Labels(),
+		})
+	})
+	mux.HandleFunc("POST /graphs/{name}/batch", func(w http.ResponseWriter, r *http.Request) {
+		batchHandler(e, w, r)
+	})
+	return mux
+}
+
+func mutateHandler(e *Engine, remove bool) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		var body struct {
+			Edges [][2]int32 `json:"edges"`
+		}
+		if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
+			writeJSON(w, http.StatusBadRequest, apiError{"invalid JSON body: " + err.Error()})
+			return
+		}
+		name := r.PathValue("name")
+		batch := make([]parcc.Edge, len(body.Edges))
+		for i, p := range body.Edges {
+			batch[i] = parcc.Edge{U: p[0], V: p[1]}
+		}
+		var err error
+		if remove {
+			err = e.RemoveEdges(name, batch)
+		} else {
+			err = e.AddEdges(name, batch)
+		}
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		sn, err := e.Snapshot(name)
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		key := "added"
+		if remove {
+			key = "removed"
+		}
+		writeJSON(w, http.StatusOK, map[string]any{
+			key: len(batch), "components": sn.NumComponents(), "version": sn.Version(),
+		})
+	}
+}
+
+// batchOp is one line of the NDJSON batch protocol.
+type batchOp struct {
+	Op    string     `json:"op"` // connected | component | count | add | remove
+	U     *int       `json:"u,omitempty"`
+	V     *int       `json:"v,omitempty"`
+	Edges [][2]int32 `json:"edges,omitempty"`
+}
+
+// batchHandler streams the NDJSON batch endpoint: one JSON op per request
+// line, one JSON result per response line, in order.  Ops execute
+// sequentially, each against the then-current state — a read after an
+// "add" line observes it.  A failing line reports {"error": ...} and the
+// stream continues; only a malformed request aborts it.
+func batchHandler(e *Engine, w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	sc := bufio.NewScanner(r.Body)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<24)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var op batchOp
+		if err := json.Unmarshal(line, &op); err != nil {
+			enc.Encode(apiError{"invalid op: " + err.Error()})
+			continue
+		}
+		enc.Encode(runBatchOp(e, name, &op))
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+	if err := sc.Err(); err != nil {
+		// The stream died mid-body (oversized line, read error): emit one
+		// final error line so the client can tell truncation from
+		// completion — the remaining ops never ran.
+		enc.Encode(apiError{"batch stream aborted: " + err.Error()})
+	}
+}
+
+func runBatchOp(e *Engine, name string, op *batchOp) any {
+	switch op.Op {
+	case "connected":
+		if op.U == nil || op.V == nil {
+			return apiError{`"connected" needs u and v`}
+		}
+		ok, err := e.Connected(name, *op.U, *op.V)
+		if err != nil {
+			return apiError{err.Error()}
+		}
+		return map[string]any{"connected": ok}
+	case "component":
+		if op.U == nil {
+			return apiError{`"component" needs u`}
+		}
+		sn, err := e.Snapshot(name)
+		if err != nil {
+			return apiError{err.Error()}
+		}
+		if *op.U < 0 || *op.U >= sn.N() {
+			return apiError{(&VertexRangeError{V: *op.U, N: sn.N()}).Error()}
+		}
+		return map[string]any{"component": sn.ComponentOf(*op.U), "size": sn.ComponentSize(*op.U)}
+	case "count":
+		k, err := e.ComponentCount(name)
+		if err != nil {
+			return apiError{err.Error()}
+		}
+		return map[string]any{"components": k}
+	case "add", "remove":
+		batch := make([]parcc.Edge, len(op.Edges))
+		for i, p := range op.Edges {
+			batch[i] = parcc.Edge{U: p[0], V: p[1]}
+		}
+		var err error
+		if op.Op == "remove" {
+			err = e.RemoveEdges(name, batch)
+		} else {
+			err = e.AddEdges(name, batch)
+		}
+		if err != nil {
+			return apiError{err.Error()}
+		}
+		key := "added"
+		if op.Op == "remove" {
+			key = "removed"
+		}
+		return map[string]any{key: len(batch)}
+	default:
+		return apiError{fmt.Sprintf("unknown op %q", op.Op)}
+	}
+}
+
+// errBadParam marks malformed request parameters; writeError maps it to
+// 400 without string matching.
+var errBadParam = errors.New("bad request parameter")
+
+func queryVertex(r *http.Request, key string, n int) (int, error) {
+	s := r.URL.Query().Get(key)
+	if s == "" {
+		return 0, fmt.Errorf("%w: missing %q", errBadParam, key)
+	}
+	v, err := strconv.Atoi(s)
+	if err != nil {
+		return 0, fmt.Errorf("%w: %q is not an integer", errBadParam, key)
+	}
+	if v < 0 || v >= n {
+		return 0, &VertexRangeError{V: v, N: n}
+	}
+	return v, nil
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+// writeError maps the typed error taxonomy onto HTTP statuses.
+func writeError(w http.ResponseWriter, err error) {
+	var (
+		vr *VertexRangeError
+		re *parcc.EdgeRangeError
+		me *parcc.MissingEdgeError
+	)
+	status := http.StatusInternalServerError
+	switch {
+	case errors.Is(err, ErrGraphNotFound):
+		status = http.StatusNotFound
+	case errors.Is(err, ErrGraphExists), errors.As(err, &me):
+		status = http.StatusConflict
+	case errors.As(err, &vr), errors.As(err, &re),
+		errors.Is(err, parcc.ErrNilGraph), errors.Is(err, errBadParam):
+		status = http.StatusBadRequest
+	case errors.Is(err, ErrEngineClosed):
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(w, status, apiError{err.Error()})
+}

@@ -1,0 +1,162 @@
+package service
+
+import (
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"parcc"
+	"parcc/internal/baseline"
+	"parcc/internal/graph"
+	"parcc/internal/graph/gen"
+)
+
+// TestConcurrentReadersVsWriter is the snapshot-isolation satellite: one
+// mutating writer streams add/remove batches into a single service shard
+// while concurrent readers hammer the snapshot.  Every snapshot a reader
+// observes must be SOME historically valid partition — the exact
+// partition baseline.IncOracle computed for that snapshot's version —
+// never a torn mix of two batches.  The oracle history for version v+1 is
+// recorded BEFORE batch v is handed to the engine, so any published
+// snapshot always has its referee entry in place when it becomes visible.
+//
+// Run under -race (CI does): the assertions catch semantic tearing, the
+// race detector catches memory-level tearing.
+func TestConcurrentReadersVsWriter(t *testing.T) {
+	const (
+		n       = 300
+		batches = 50
+		readers = 4
+	)
+	base := gen.GNM(n, 450, 11)
+
+	e := New(Options{Solver: &parcc.Options{Backend: parcc.BackendConcurrent, Procs: 2}})
+	defer e.Close()
+	if err := e.Create("g", base.Clone()); err != nil {
+		t.Fatal(err)
+	}
+
+	// history[v] is the oracle partition the snapshot at version v must
+	// equal.  Create published version 1 = the initial graph.
+	oracle := baseline.NewIncOracle(base)
+	var history [batches + 2]atomic.Pointer[[]int32]
+	init := oracle.Labels()
+	history[1].Store(&init)
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			seen := map[uint64]bool{}
+			for i := 0; ; i++ {
+				// Check stop only after at least one verified read, so the
+				// test is meaningful even if the scheduler starves readers
+				// until the stream is done (single-core hosts).
+				if i > 0 {
+					select {
+					case <-stop:
+						if len(seen) == 0 {
+							t.Errorf("reader %d observed no snapshots", r)
+						}
+						return
+					default:
+					}
+				}
+				sn, err := e.Snapshot("g")
+				if err != nil {
+					t.Errorf("reader %d: %v", r, err)
+					return
+				}
+				v := sn.Version()
+				if v == 0 || v >= uint64(len(history)) {
+					t.Errorf("reader %d: snapshot version %d out of the mutation history", r, v)
+					return
+				}
+				want := history[v].Load()
+				if want == nil {
+					t.Errorf("reader %d: snapshot version %d visible before its batch was recorded", r, v)
+					return
+				}
+				if !graph.SamePartition(*want, sn.Labels()) {
+					t.Errorf("reader %d: snapshot version %d is not the historical partition of its batch (torn read?)", r, v)
+					return
+				}
+				seen[v] = true
+				// Point queries must cohere with the same snapshot.
+				u, w := (i*13)%n, (i*29)%n
+				if sn.Connected(u, w) != (sn.ComponentOf(u) == sn.ComponentOf(w)) {
+					t.Errorf("reader %d: Connected and ComponentOf disagree within one snapshot", r)
+					return
+				}
+				if i%16 == 0 {
+					count := map[int32]int{}
+					for _, l := range sn.Labels() {
+						count[l]++
+					}
+					if len(count) != sn.NumComponents() {
+						t.Errorf("reader %d: %d labels vs %d claimed components", r, len(count), sn.NumComponents())
+						return
+					}
+					if sn.ComponentSize(u) != count[sn.ComponentOf(u)] {
+						t.Errorf("reader %d: ComponentSize inconsistent with labels", r)
+						return
+					}
+				}
+			}
+		}(r)
+	}
+
+	rng := rand.New(rand.NewSource(23))
+	for b := 0; b < batches; b++ {
+		remove := b%3 == 2 && oracle.Graph().M() > 32
+		var batch []graph.Edge
+		if remove {
+			live := oracle.Graph()
+			for _, j := range rng.Perm(live.M())[:4] {
+				batch = append(batch, live.Edges[j])
+			}
+		} else {
+			for j := 0; j < 8; j++ {
+				batch = append(batch, graph.Edge{U: int32(rng.Intn(n)), V: int32(rng.Intn(n))})
+			}
+		}
+		// Referee first, engine second: the entry for version b+2 exists
+		// before any reader can observe that version.
+		var err error
+		if remove {
+			err = oracle.RemoveEdges(batch)
+		} else {
+			err = oracle.AddEdges(batch)
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		labels := oracle.Labels()
+		history[b+2].Store(&labels)
+		if remove {
+			err = e.RemoveEdges("g", batch)
+		} else {
+			err = e.AddEdges("g", batch)
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+
+	// The final snapshot is the final oracle state, exactly.
+	sn, err := e.Snapshot("g")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sn.Version() != batches+1 {
+		t.Fatalf("final version %d, want %d (one publish per batch)", sn.Version(), batches+1)
+	}
+	if !graph.SamePartition(oracle.Labels(), sn.Labels()) {
+		t.Fatal("final snapshot diverges from the oracle")
+	}
+}

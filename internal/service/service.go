@@ -1,0 +1,556 @@
+// Package service is the connectivity-as-a-service layer: a concurrent
+// multi-graph query engine managing a shard map of named live sessions,
+// each an incremental parcc.Solver behind a single-writer/many-reader
+// discipline.
+//
+// The read path is lock-free: point queries (Connected, ComponentOf,
+// ComponentCount, ComponentSize) resolve the shard through a sync.Map and
+// answer from the session's published immutable label snapshot
+// (Solver.ReadView — one atomic pointer load), so reads never block on
+// writers and never observe a half-spliced partition.  The write path is a
+// single writer goroutine per shard draining a mutation queue: queued
+// AddEdges/RemoveEdges calls are coalesced into combined batches before
+// hitting the incremental path, amortizing the per-batch costs (the O(m)
+// delete sweep, the O(n) snapshot publish) across every caller that
+// queued while the previous batch was applying.  One snapshot is
+// published per coalesced group, and callers are released only after the
+// publish — a caller's own reads always observe its completed write.
+//
+// Engine errors follow the same typed-taxonomy convention as parcc
+// (errors.Is / errors.As, never string matching); the HTTP layer in this
+// package maps them to status codes.  docs/OPERATIONS.md is the
+// deployment and tuning guide.
+package service
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"parcc"
+)
+
+// ErrEngineClosed reports a call on an Engine after Close.
+var ErrEngineClosed = errors.New("service: engine is closed")
+
+// ErrGraphNotFound reports a query against a name with no live session.
+var ErrGraphNotFound = errors.New("service: graph not found")
+
+// ErrGraphExists reports a Create with a name that already has a session.
+var ErrGraphExists = errors.New("service: graph already exists")
+
+// VertexRangeError reports a point query with a vertex outside [0, N).
+type VertexRangeError struct {
+	V int // the offending vertex
+	N int // the graph's vertex-count bound
+}
+
+func (e *VertexRangeError) Error() string {
+	return fmt.Sprintf("service: vertex %d out of range [0,%d)", e.V, e.N)
+}
+
+// Options configures an Engine.
+type Options struct {
+	// Solver configures every shard's parcc.Solver (nil: parcc defaults).
+	// The engine owns the live graphs, so Options.TrustGraph is safe and
+	// worth setting for serving workloads (docs/OPERATIONS.md §tuning).
+	Solver *parcc.Options
+	// CoalesceWindow is how long the shard writer waits, after picking up
+	// one mutation, for more to queue before applying the combined batch.
+	// Zero (the default) coalesces only what is already queued — lowest
+	// latency; larger windows trade write latency for bigger batches,
+	// which matters most for deletions (one O(m) sweep per batch, however
+	// many callers share it).
+	CoalesceWindow time.Duration
+	// MaxBatchEdges caps the edges combined into one coalesced apply
+	// (default 1 << 16).  A cap keeps worst-case apply latency — and thus
+	// snapshot staleness — bounded under write floods.
+	MaxBatchEdges int
+	// QueueDepth is the per-shard mutation queue capacity (default 256).
+	// Writers beyond it block in Add/RemoveEdges — closed-loop back
+	// pressure, not an error.
+	QueueDepth int
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxBatchEdges <= 0 {
+		o.MaxBatchEdges = 1 << 16
+	}
+	if o.QueueDepth <= 0 {
+		o.QueueDepth = 256
+	}
+	return o
+}
+
+// Engine is the multi-session connectivity service.  All methods are safe
+// for concurrent use.
+type Engine struct {
+	opt    Options
+	shards sync.Map // name -> *shard
+	closed atomic.Bool
+	wg     sync.WaitGroup // one writer goroutine per live shard
+	// life serializes session creation against Close: Create holds the
+	// read side across the closed check, shard registration, and wg.Add,
+	// so Close (write side) can never observe the closed flag set while a
+	// registration is still in flight — every shard it drains is fully
+	// registered, and wg.Add never races wg.Wait from a zero counter.
+	// The query/mutation paths never touch it.
+	life sync.RWMutex
+}
+
+// New returns an empty engine.  Close releases every session.
+func New(opt Options) *Engine {
+	return &Engine{opt: opt.withDefaults()}
+}
+
+// mutation is one queued write: a batch plus the channel its caller waits
+// on.  The reply is sent after the batch is applied AND the new snapshot
+// is published, so the caller's subsequent reads see its write.
+type mutation struct {
+	remove bool
+	batch  []parcc.Edge
+	err    chan error
+}
+
+// shard is one named live session: the incremental solver, its mutation
+// queue, and the serving counters.  Exactly one writer goroutine consumes
+// reqs; any number of readers answer from the solver's published snapshot.
+type shard struct {
+	name string
+	n    int // vertex count, fixed at Create
+	s    *parcc.Solver
+	reqs chan *mutation
+	done chan struct{} // closed when the writer has drained and exited
+
+	// state guards the closing flag against enqueuers: senders hold the
+	// read side across the channel send, Drop/Close take the write side
+	// before closing reqs, so a send can never hit a closed channel.
+	state   sync.RWMutex
+	closing bool
+
+	reads     atomic.Uint64 // point queries served
+	writes    atomic.Uint64 // mutations accepted (callers)
+	applies   atomic.Uint64 // combined batches applied
+	coalesced atomic.Uint64 // mutations that shared an apply with another
+	edges     atomic.Int64  // live edge count (maintained, not measured)
+}
+
+// Create attaches g as a new live session under name and publishes its
+// first snapshot; the engine owns g afterwards (mutate it only through
+// AddEdges/RemoveEdges).  Errors: ErrEngineClosed, ErrGraphExists, or
+// whatever Solver.Attach rejects (e.g. an out-of-range edge in g).
+func (e *Engine) Create(name string, g *parcc.Graph) error {
+	e.life.RLock()
+	defer e.life.RUnlock()
+	if e.closed.Load() {
+		return ErrEngineClosed
+	}
+	if name == "" {
+		return fmt.Errorf("service: empty graph name")
+	}
+	if g == nil {
+		return parcc.ErrNilGraph
+	}
+	s, err := parcc.NewSolver(e.opt.Solver)
+	if err != nil {
+		return err
+	}
+	if err := s.Attach(g); err != nil {
+		s.Close()
+		return err
+	}
+	if _, err := s.PublishSnapshot(); err != nil {
+		s.Close()
+		return err
+	}
+	sh := &shard{
+		name: name,
+		n:    g.N,
+		s:    s,
+		reqs: make(chan *mutation, e.opt.QueueDepth),
+		done: make(chan struct{}),
+	}
+	sh.edges.Store(int64(g.M()))
+	if _, raced := e.shards.LoadOrStore(name, sh); raced {
+		s.Close()
+		return fmt.Errorf("%w: %q", ErrGraphExists, name)
+	}
+	e.wg.Add(1)
+	go e.writer(sh)
+	return nil
+}
+
+// Drop removes the named session: queued mutations are drained and
+// applied, then the solver is released.  Readers that already hold the
+// shard's snapshot keep a valid (now frozen) view.
+func (e *Engine) Drop(name string) error {
+	v, ok := e.shards.LoadAndDelete(name)
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrGraphNotFound, name)
+	}
+	v.(*shard).shutdown()
+	return nil
+}
+
+// Names lists the live sessions, sorted.
+func (e *Engine) Names() []string {
+	var names []string
+	e.shards.Range(func(k, _ any) bool {
+		names = append(names, k.(string))
+		return true
+	})
+	sort.Strings(names)
+	return names
+}
+
+// Close drains and releases every session and rejects all further calls
+// with ErrEngineClosed.  Queued mutations are applied before their
+// sessions close (graceful drain); Close returns when every writer has
+// exited.  Idempotent.
+func (e *Engine) Close() {
+	e.life.Lock()
+	first := e.closed.CompareAndSwap(false, true)
+	e.life.Unlock() // in-flight Creates have registered; new ones see closed
+	if !first {
+		e.wg.Wait() // a concurrent Close drains; wait for it
+		return
+	}
+	e.shards.Range(func(k, v any) bool {
+		if _, ours := e.shards.LoadAndDelete(k); ours {
+			v.(*shard).shutdown()
+		}
+		return true
+	})
+	e.wg.Wait()
+}
+
+// lookup resolves a shard on the lock-free read path.
+func (e *Engine) lookup(name string) (*shard, error) {
+	if e.closed.Load() {
+		return nil, ErrEngineClosed
+	}
+	v, ok := e.shards.Load(name)
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrGraphNotFound, name)
+	}
+	return v.(*shard), nil
+}
+
+// view resolves a shard and its current snapshot: a sync.Map load plus an
+// atomic pointer load — no locks, no contention with the shard writer.
+func (e *Engine) view(name string) (*shard, *parcc.Snapshot, error) {
+	sh, err := e.lookup(name)
+	if err != nil {
+		return nil, nil, err
+	}
+	sn := sh.s.ReadView()
+	if sn == nil {
+		// Unreachable by construction (Create publishes before the shard
+		// becomes visible, and nothing unpublishes); fail closed anyway.
+		return nil, nil, fmt.Errorf("%w: %q", ErrGraphNotFound, name)
+	}
+	return sh, sn, nil
+}
+
+// Connected reports whether u and v share a component, answered from the
+// published snapshot.
+func (e *Engine) Connected(name string, u, v int) (bool, error) {
+	sh, sn, err := e.view(name)
+	if err != nil {
+		return false, err
+	}
+	if err := checkVertex(u, sh.n); err != nil {
+		return false, err
+	}
+	if err := checkVertex(v, sh.n); err != nil {
+		return false, err
+	}
+	sh.reads.Add(1)
+	return sn.Connected(u, v), nil
+}
+
+// ComponentOf returns u's component representative (stable within one
+// snapshot version; compare via Connected across versions).
+func (e *Engine) ComponentOf(name string, u int) (int32, error) {
+	sh, sn, err := e.view(name)
+	if err != nil {
+		return 0, err
+	}
+	if err := checkVertex(u, sh.n); err != nil {
+		return 0, err
+	}
+	sh.reads.Add(1)
+	return sn.ComponentOf(u), nil
+}
+
+// ComponentSize returns the size of u's component.
+func (e *Engine) ComponentSize(name string, u int) (int, error) {
+	sh, sn, err := e.view(name)
+	if err != nil {
+		return 0, err
+	}
+	if err := checkVertex(u, sh.n); err != nil {
+		return 0, err
+	}
+	sh.reads.Add(1)
+	return sn.ComponentSize(u), nil
+}
+
+// ComponentCount returns the exact number of components.
+func (e *Engine) ComponentCount(name string) (int, error) {
+	sh, sn, err := e.view(name)
+	if err != nil {
+		return 0, err
+	}
+	sh.reads.Add(1)
+	return sn.NumComponents(), nil
+}
+
+// Snapshot returns the named session's current published snapshot — the
+// bulk-read form of the point queries, for callers that want a consistent
+// view across many lookups.
+func (e *Engine) Snapshot(name string) (*parcc.Snapshot, error) {
+	sh, sn, err := e.view(name)
+	if err != nil {
+		return nil, err
+	}
+	sh.reads.Add(1)
+	return sn, nil
+}
+
+// AddEdges queues an insert batch on the shard writer and returns once it
+// is applied and the refreshed snapshot is published.  The batch is
+// validated against the vertex bound before queueing, so range errors
+// return immediately and a queued batch cannot fail the combined apply it
+// is coalesced into.  The engine borrows batch until the call returns.
+func (e *Engine) AddEdges(name string, batch []parcc.Edge) error {
+	return e.mutate(name, false, batch)
+}
+
+// RemoveEdges queues a delete batch (multiset semantics: one occurrence
+// per entry, either orientation) and returns once applied and published.
+// A batch with missing occurrences fails with *parcc.MissingEdgeError and
+// mutates nothing — coalesced neighbors are unaffected (the writer falls
+// back to per-caller application when a combined batch fails).
+func (e *Engine) RemoveEdges(name string, batch []parcc.Edge) error {
+	return e.mutate(name, true, batch)
+}
+
+func (e *Engine) mutate(name string, remove bool, batch []parcc.Edge) error {
+	sh, err := e.lookup(name)
+	if err != nil {
+		return err
+	}
+	for _, ed := range batch {
+		if err := checkVertex(int(ed.U), sh.n); err != nil {
+			return &parcc.EdgeRangeError{Edge: ed, N: sh.n}
+		}
+		if err := checkVertex(int(ed.V), sh.n); err != nil {
+			return &parcc.EdgeRangeError{Edge: ed, N: sh.n}
+		}
+	}
+	if len(batch) == 0 {
+		return nil
+	}
+	m := &mutation{remove: remove, batch: batch, err: make(chan error, 1)}
+	sh.state.RLock()
+	if sh.closing {
+		sh.state.RUnlock()
+		return fmt.Errorf("%w: %q", ErrGraphNotFound, name)
+	}
+	sh.reqs <- m // may block: queue-depth back pressure
+	sh.state.RUnlock()
+	sh.writes.Add(1)
+	return <-m.err
+}
+
+func checkVertex(v, n int) error {
+	if v < 0 || v >= n {
+		return &VertexRangeError{V: v, N: n}
+	}
+	return nil
+}
+
+// shutdown stops the shard's writer after a graceful drain and releases
+// its solver.  Safe to call once per shard (Drop and Close both route
+// through LoadAndDelete, which elects a single caller).
+func (sh *shard) shutdown() {
+	sh.state.Lock()
+	sh.closing = true
+	close(sh.reqs)
+	sh.state.Unlock()
+	<-sh.done // writer drains remaining queued mutations, then exits
+	sh.s.Close()
+}
+
+// writer is the shard's single mutator: it picks up one queued mutation,
+// coalesces whatever else is waiting (bounded by MaxBatchEdges and the
+// CoalesceWindow), applies the combined batches through the incremental
+// path, publishes one snapshot for the whole group, and only then releases
+// the callers.
+func (e *Engine) writer(sh *shard) {
+	defer e.wg.Done()
+	defer close(sh.done)
+	for first := range sh.reqs {
+		group := e.collect(sh, first)
+		sh.apply(group)
+	}
+}
+
+// collect gathers the coalescing group starting at first.  With a zero
+// window it takes only what is already queued; with a positive window it
+// keeps listening until the window closes or the edge cap is reached.
+func (e *Engine) collect(sh *shard, first *mutation) []*mutation {
+	group := []*mutation{first}
+	edges := len(first.batch)
+	var window <-chan time.Time
+	if e.opt.CoalesceWindow > 0 {
+		window = time.After(e.opt.CoalesceWindow)
+	}
+	for edges < e.opt.MaxBatchEdges {
+		if window == nil {
+			select {
+			case m, ok := <-sh.reqs:
+				if !ok {
+					return group
+				}
+				group = append(group, m)
+				edges += len(m.batch)
+			default:
+				return group
+			}
+		} else {
+			select {
+			case m, ok := <-sh.reqs:
+				if !ok {
+					return group
+				}
+				group = append(group, m)
+				edges += len(m.batch)
+			case <-window:
+				return group
+			}
+		}
+	}
+	return group
+}
+
+// apply runs the group through the incremental path: consecutive
+// mutations of the same kind become one combined AddEdges/RemoveEdges
+// call (order across kinds is preserved — an add queued before a remove
+// is applied before it).  If a combined call fails, the run is replayed
+// per caller so each gets its exact error and innocent neighbors still
+// land.  One snapshot publish covers the whole group.
+func (sh *shard) apply(group []*mutation) {
+	errs := make([]error, len(group))
+	mutated := false
+	for lo := 0; lo < len(group); {
+		hi := lo + 1
+		for hi < len(group) && group[hi].remove == group[lo].remove {
+			hi++
+		}
+		run := group[lo:hi]
+		if len(run) == 1 {
+			errs[lo] = sh.applyOne(run[0].remove, run[0].batch)
+			mutated = mutated || errs[lo] == nil
+			lo = hi
+			continue
+		}
+		combined := make([]parcc.Edge, 0, runEdges(run))
+		for _, m := range run {
+			combined = append(combined, m.batch...)
+		}
+		if err := sh.applyOne(run[0].remove, combined); err != nil {
+			// One caller's batch poisoned the combined apply (e.g. two
+			// removes racing for the same occurrence).  Nothing was
+			// mutated; replay per caller for exact attribution.
+			for i, m := range run {
+				errs[lo+i] = sh.applyOne(m.remove, m.batch)
+				mutated = mutated || errs[lo+i] == nil
+			}
+		} else {
+			mutated = true
+			sh.coalesced.Add(uint64(len(run)))
+		}
+		lo = hi
+	}
+	if mutated {
+		// Cannot fail: the writer owns the session, which is attached and
+		// not closed until this goroutine exits.
+		sh.s.PublishSnapshot()
+	}
+	for i, m := range group {
+		m.err <- errs[i]
+	}
+}
+
+// applyOne applies a single batch and maintains the serving counters.
+func (sh *shard) applyOne(remove bool, batch []parcc.Edge) error {
+	var err error
+	if remove {
+		err = sh.s.RemoveEdges(batch)
+	} else {
+		err = sh.s.AddEdges(batch)
+	}
+	if err == nil {
+		sh.applies.Add(1)
+		if remove {
+			sh.edges.Add(int64(-len(batch)))
+		} else {
+			sh.edges.Add(int64(len(batch)))
+		}
+	}
+	return err
+}
+
+func runEdges(run []*mutation) int {
+	total := 0
+	for _, m := range run {
+		total += len(m.batch)
+	}
+	return total
+}
+
+// ShardStats is one session's serving counters, as reported by Stats.
+type ShardStats struct {
+	Name       string `json:"name"`
+	N          int    `json:"n"`
+	Edges      int64  `json:"edges"`
+	Components int    `json:"components"`
+	Version    uint64 `json:"snapshot_version"`
+	Reads      uint64 `json:"reads"`
+	Writes     uint64 `json:"writes"`
+	Applies    uint64 `json:"applies"`
+	Coalesced  uint64 `json:"coalesced"`
+	Queue      int    `json:"queue"`
+}
+
+// Stats reports every live session's counters, sorted by name.  It reads
+// only lock-free state (snapshot + atomics) — safe to poll in production.
+func (e *Engine) Stats() []ShardStats {
+	var out []ShardStats
+	e.shards.Range(func(_, v any) bool {
+		sh := v.(*shard)
+		st := ShardStats{
+			Name:      sh.name,
+			N:         sh.n,
+			Edges:     sh.edges.Load(),
+			Reads:     sh.reads.Load(),
+			Writes:    sh.writes.Load(),
+			Applies:   sh.applies.Load(),
+			Coalesced: sh.coalesced.Load(),
+			Queue:     len(sh.reqs),
+		}
+		if sn := sh.s.ReadView(); sn != nil {
+			st.Components = sn.NumComponents()
+			st.Version = sn.Version()
+		}
+		out = append(out, st)
+		return true
+	})
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}

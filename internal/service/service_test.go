@@ -1,0 +1,277 @@
+package service
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"parcc"
+)
+
+func path(n int) *parcc.Graph {
+	g := parcc.NewGraph(n)
+	for i := 0; i < n-1; i++ {
+		g.AddEdge(i, i+1)
+	}
+	return g
+}
+
+// TestEngineBasic drives one session end to end: create, point queries,
+// a merge, a split, and the typed errors of the whole surface.
+func TestEngineBasic(t *testing.T) {
+	e := New(Options{})
+	defer e.Close()
+
+	if err := e.Create("g", path(6)); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Create("g", path(2)); !errors.Is(err, ErrGraphExists) {
+		t.Fatalf("duplicate Create = %v, want ErrGraphExists", err)
+	}
+	if got := e.Names(); len(got) != 1 || got[0] != "g" {
+		t.Fatalf("Names = %v", got)
+	}
+
+	ok, err := e.Connected("g", 0, 5)
+	if err != nil || !ok {
+		t.Fatalf("Connected(0,5) = %v, %v on a path", ok, err)
+	}
+	k, err := e.ComponentCount("g")
+	if err != nil || k != 1 {
+		t.Fatalf("ComponentCount = %d, %v", k, err)
+	}
+	sz, err := e.ComponentSize("g", 3)
+	if err != nil || sz != 6 {
+		t.Fatalf("ComponentSize = %d, %v", sz, err)
+	}
+
+	// Split, then re-join: reads issued after a mutation returns must
+	// observe it (the writer publishes before releasing the caller).
+	if err := e.RemoveEdges("g", []parcc.Edge{{U: 2, V: 3}}); err != nil {
+		t.Fatal(err)
+	}
+	if ok, _ := e.Connected("g", 0, 5); ok {
+		t.Fatal("read after RemoveEdges returned must observe the split")
+	}
+	if k, _ := e.ComponentCount("g"); k != 2 {
+		t.Fatalf("ComponentCount after split = %d, want 2", k)
+	}
+	if err := e.AddEdges("g", []parcc.Edge{{U: 0, V: 5}}); err != nil {
+		t.Fatal(err)
+	}
+	if ok, _ := e.Connected("g", 0, 5); !ok {
+		t.Fatal("read after AddEdges returned must observe the merge")
+	}
+
+	// Typed errors end to end.
+	if _, err := e.Connected("nope", 0, 1); !errors.Is(err, ErrGraphNotFound) {
+		t.Fatalf("unknown graph = %v, want ErrGraphNotFound", err)
+	}
+	var vr *VertexRangeError
+	if _, err := e.Connected("g", 0, 99); !errors.As(err, &vr) || vr.V != 99 || vr.N != 6 {
+		t.Fatalf("out-of-range query = %v, want *VertexRangeError{99,6}", err)
+	}
+	var re *parcc.EdgeRangeError
+	if err := e.AddEdges("g", []parcc.Edge{{U: 0, V: 99}}); !errors.As(err, &re) {
+		t.Fatalf("out-of-range add = %v, want *parcc.EdgeRangeError", err)
+	}
+	var me *parcc.MissingEdgeError
+	if err := e.RemoveEdges("g", []parcc.Edge{{U: 0, V: 3}}); !errors.As(err, &me) {
+		t.Fatalf("missing remove = %v, want *parcc.MissingEdgeError", err)
+	}
+
+	sn, err := e.Snapshot("g")
+	if err != nil || sn.N() != 6 || sn.NumComponents() != 1 {
+		t.Fatalf("Snapshot = %+v, %v", sn, err)
+	}
+
+	if err := e.Drop("g"); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Drop("g"); !errors.Is(err, ErrGraphNotFound) {
+		t.Fatalf("double Drop = %v, want ErrGraphNotFound", err)
+	}
+	e.Close()
+	if err := e.Create("h", path(2)); !errors.Is(err, ErrEngineClosed) {
+		t.Fatalf("Create after Close = %v, want ErrEngineClosed", err)
+	}
+	if _, err := e.Connected("g", 0, 1); !errors.Is(err, ErrEngineClosed) {
+		t.Fatalf("query after Close = %v, want ErrEngineClosed", err)
+	}
+}
+
+// TestEngineCoalescing floods one shard with concurrent single-edge adds
+// under a generous coalesce window: the writer must combine them into far
+// fewer applies, and the end state must contain every edge.
+func TestEngineCoalescing(t *testing.T) {
+	e := New(Options{CoalesceWindow: 50 * time.Millisecond})
+	defer e.Close()
+	n := 64
+	if err := e.Create("g", parcc.NewGraph(n)); err != nil {
+		t.Fatal(err)
+	}
+
+	const writers = 16
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			if err := e.AddEdges("g", []parcc.Edge{{U: int32(w), V: int32(w + 1)}}); err != nil {
+				t.Error(err)
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	ok, err := e.Connected("g", 0, writers)
+	if err != nil || !ok {
+		t.Fatalf("Connected(0,%d) = %v, %v after the adds", writers, ok, err)
+	}
+	st := e.Stats()
+	if len(st) != 1 || st[0].Writes != writers {
+		t.Fatalf("stats = %+v, want %d writes", st, writers)
+	}
+	if st[0].Coalesced == 0 || st[0].Applies >= writers {
+		t.Fatalf("no coalescing happened: applies=%d coalesced=%d (writes=%d)",
+			st[0].Applies, st[0].Coalesced, st[0].Writes)
+	}
+	if st[0].Edges != writers {
+		t.Fatalf("edge counter = %d, want %d", st[0].Edges, writers)
+	}
+}
+
+// TestEngineCoalescedRemoveConflict queues two removals of the same single
+// occurrence into one group: exactly one may win; the loser gets the typed
+// missing-edge error; the graph ends consistent either way.
+func TestEngineCoalescedRemoveConflict(t *testing.T) {
+	e := New(Options{CoalesceWindow: 50 * time.Millisecond})
+	defer e.Close()
+	g := parcc.NewGraph(4)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	if err := e.Create("g", g); err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	errs := make([]error, 2)
+	for i := range errs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = e.RemoveEdges("g", []parcc.Edge{{U: 0, V: 1}})
+		}(i)
+	}
+	wg.Wait()
+
+	var me *parcc.MissingEdgeError
+	winners := 0
+	for _, err := range errs {
+		if err == nil {
+			winners++
+		} else if !errors.As(err, &me) {
+			t.Fatalf("loser got %v, want *parcc.MissingEdgeError", err)
+		}
+	}
+	if winners != 1 {
+		t.Fatalf("%d removals of one occurrence succeeded, want exactly 1", winners)
+	}
+	if ok, _ := e.Connected("g", 0, 1); ok {
+		t.Fatal("edge (0,1) still present after a successful removal")
+	}
+	if ok, _ := e.Connected("g", 1, 2); !ok {
+		t.Fatal("innocent edge (1,2) went missing")
+	}
+}
+
+// TestEngineGracefulClose closes the engine under write load: every
+// in-flight mutation either lands (nil error) or is rejected with a
+// taxonomy error — never a panic, never a hang.
+func TestEngineGracefulClose(t *testing.T) {
+	e := New(Options{})
+	if err := e.Create("g", parcc.NewGraph(128)); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				err := e.AddEdges("g", []parcc.Edge{{U: int32(w), V: int32((w + i) % 128)}})
+				if err != nil {
+					if !errors.Is(err, ErrEngineClosed) && !errors.Is(err, ErrGraphNotFound) {
+						t.Errorf("writer %d: %v", w, err)
+					}
+					return
+				}
+			}
+		}(w)
+	}
+	time.Sleep(20 * time.Millisecond)
+	e.Close()
+	wg.Wait()
+	e.Close() // idempotent
+}
+
+// TestEngineCreateCloseRace races session creation against Close: every
+// Create either registers fully (and is then drained by Close) or is
+// rejected with ErrEngineClosed — after both sides settle, no session may
+// survive.  Run under -race: this pins the wg.Add-vs-wg.Wait ordering.
+func TestEngineCreateCloseRace(t *testing.T) {
+	for round := 0; round < 25; round++ {
+		e := New(Options{})
+		var wg sync.WaitGroup
+		for j := 0; j < 4; j++ {
+			wg.Add(1)
+			go func(j int) {
+				defer wg.Done()
+				err := e.Create(fmt.Sprintf("g%d", j), path(64))
+				if err != nil && !errors.Is(err, ErrEngineClosed) {
+					t.Errorf("Create: %v", err)
+				}
+			}(j)
+		}
+		e.Close()
+		wg.Wait()
+		if names := e.Names(); len(names) != 0 {
+			t.Fatalf("round %d: sessions survived Close: %v", round, names)
+		}
+	}
+}
+
+// TestEngineManyShards spreads sessions across names and checks isolation:
+// mutations on one shard never leak into another.
+func TestEngineManyShards(t *testing.T) {
+	e := New(Options{})
+	defer e.Close()
+	const shards = 8
+	for i := 0; i < shards; i++ {
+		if err := e.Create(fmt.Sprintf("s%d", i), path(10)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := e.RemoveEdges("s3", []parcc.Edge{{U: 4, V: 5}}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < shards; i++ {
+		name := fmt.Sprintf("s%d", i)
+		k, err := e.ComponentCount(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := 1
+		if i == 3 {
+			want = 2
+		}
+		if k != want {
+			t.Fatalf("%s has %d components, want %d", name, k, want)
+		}
+	}
+	if got := len(e.Names()); got != shards {
+		t.Fatalf("Names lists %d shards, want %d", got, shards)
+	}
+}

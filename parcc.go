@@ -233,7 +233,7 @@ type StageCost struct {
 // plan) across calls.
 func ConnectedComponents(g *Graph, opt *Options) (*Result, error) {
 	if g == nil {
-		return nil, fmt.Errorf("parcc: nil graph")
+		return nil, ErrNilGraph
 	}
 	if err := g.Validate(); err != nil {
 		return nil, fmt.Errorf("parcc: %w", err)

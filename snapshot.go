@@ -1,0 +1,109 @@
+package parcc
+
+import (
+	"parcc/internal/par"
+)
+
+// Snapshot is an immutable point-in-time view of a live session's
+// component partition: the flattened labels, per-component sizes, and the
+// exact component count, stamped with a monotonically increasing version.
+// A Snapshot never changes after PublishSnapshot returns it, so any number
+// of goroutines may query it concurrently, lock-free, while the session
+// keeps mutating — readers holding an old snapshot simply observe the
+// partition as it was at that version (a historically valid partition,
+// never a torn one).  This is the read side of the serving layer's
+// single-writer/many-reader discipline (internal/service publishes one
+// snapshot per coalesced mutation batch; see docs/OPERATIONS.md for the
+// memory model).
+//
+// Point queries are O(1) array lookups; none of them allocates.  Vertex
+// arguments must be in [0, N()) — the methods index slices directly and
+// panic on out-of-range input, exactly like the slices themselves (the
+// serving layer validates before calling).
+type Snapshot struct {
+	labels  []int32
+	sizes   []int32 // indexed by root label
+	ncomp   int
+	version uint64
+}
+
+// N returns the number of vertices the snapshot covers.
+func (sn *Snapshot) N() int { return len(sn.labels) }
+
+// Version is the publish counter of the owning Solver: strictly increasing
+// across PublishSnapshot calls, never reused within a Solver's lifetime
+// (re-Attach keeps counting).  Readers use it to order snapshots and to
+// key them to an external history.
+func (sn *Snapshot) Version() uint64 { return sn.version }
+
+// NumComponents is the exact number of connected components at the
+// snapshot's version.
+func (sn *Snapshot) NumComponents() int { return sn.ncomp }
+
+// ComponentOf returns u's component representative.  Representatives are
+// stable within one snapshot (ComponentOf(u) == ComponentOf(v) iff u and v
+// are connected) but may differ across snapshots even for an unchanged
+// partition — compare partitions, not raw labels, across versions.
+func (sn *Snapshot) ComponentOf(u int) int32 { return sn.labels[u] }
+
+// Connected reports whether u and v are in the same component.
+func (sn *Snapshot) Connected(u, v int) bool { return sn.labels[u] == sn.labels[v] }
+
+// ComponentSize returns the number of vertices in u's component.
+func (sn *Snapshot) ComponentSize(u int) int { return int(sn.sizes[sn.labels[u]]) }
+
+// Labels exposes the flattened label array (labels[v] is v's
+// representative).  The slice is the snapshot's own storage: treat it as
+// read-only — writing to it would tear the view for every other reader.
+func (sn *Snapshot) Labels() []int32 { return sn.labels }
+
+// PublishSnapshot captures the live partition into a fresh immutable
+// Snapshot and atomically installs it as the session's read view.  The
+// capture runs under the session lock (it serializes with AddEdges/
+// RemoveEdges, so it always sees a batch boundary, never a half-applied
+// one) and costs O(n) — two parallel passes on the session's runtime: a
+// flatten of the union-find forest when mutations left chains, then the
+// par.SnapshotLabels copy+count kernel.  The swap itself is a single
+// atomic pointer store: readers calling ReadView never block, and readers
+// holding the previous snapshot keep a consistent view for as long as they
+// keep the pointer.
+//
+// Publishing is explicit rather than automatic so the incremental fast
+// path keeps its O(batch·α) cost: callers that want a fresh read view
+// after every mutation batch publish once per batch (what internal/service
+// does, amortizing the O(n) across all writes it coalesced into the
+// batch); callers that only use Components/ComponentsInto never pay it.
+// Errors are the incremental taxonomy's: ErrSolverClosed, ErrNotAttached.
+func (s *Solver) PublishSnapshot() (*Snapshot, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	inc, err := s.incReady()
+	if err != nil {
+		return nil, err
+	}
+	e := s.casExec()
+	if inc.needsCompress {
+		par.Compress(e, inc.parent)
+		inc.needsCompress = false
+	}
+	n := inc.g.N
+	sn := &Snapshot{
+		labels: make([]int32, n),
+		sizes:  make([]int32, n),
+		ncomp:  inc.ncomp,
+	}
+	par.SnapshotLabels(e, inc.parent, sn.labels, sn.sizes)
+	s.snapVersion++
+	sn.version = s.snapVersion
+	s.snap.Store(sn)
+	return sn, nil
+}
+
+// ReadView returns the most recently published snapshot without taking the
+// session lock — one atomic pointer load, safe to call from any number of
+// goroutines concurrently with mutations on the same Solver.  It is nil
+// until the first PublishSnapshot after an Attach (Attach unpublishes:
+// a snapshot of the previous live graph must not answer for the new one).
+// Close does not unpublish — a drained server may keep answering reads
+// from the last view while it shuts down.
+func (s *Solver) ReadView() *Snapshot { return s.snap.Load() }

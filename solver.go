@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"parcc/internal/baseline"
 	"parcc/internal/core"
@@ -52,6 +53,12 @@ type Solver struct {
 	plan   *graph.Plan // single-slot plan cache (most recent graph)
 	inc    *incSession // live incremental session (nil until Attach)
 	closed bool
+
+	// snap is the published read view (see PublishSnapshot/ReadView):
+	// written under mu, loaded lock-free by any number of readers.
+	// snapVersion counts publishes across the Solver's whole lifetime.
+	snap        atomic.Pointer[Snapshot]
+	snapVersion uint64
 }
 
 // NewSolver validates the options and builds a session: the machine and
@@ -136,7 +143,7 @@ func (s *Solver) Solve(g *Graph) (*Result, error) {
 // other fields are overwritten.
 func (s *Solver) SolveInto(g *Graph, res *Result) error {
 	if g == nil {
-		return fmt.Errorf("parcc: nil graph")
+		return ErrNilGraph
 	}
 	if err := g.Validate(); err != nil {
 		return fmt.Errorf("parcc: %w", err)
@@ -144,7 +151,7 @@ func (s *Solver) SolveInto(g *Graph, res *Result) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
-		return fmt.Errorf("parcc: solver is closed")
+		return ErrSolverClosed
 	}
 	o := s.opt
 	m := s.m
