@@ -9,6 +9,7 @@
 //	ccbench -run SP -scale full -backend concurrent -procs 8   # T1/TP self-speedup
 //	ccbench -run QPS -backend concurrent                       # one-shot vs Solver session
 //	ccbench -run INC -format json -out results/                # incremental updates vs cold re-solve
+//	ccbench -run SOLVE -scale full -format json                # raw-solve sweep: cas vs sample vs auto
 //	ccbench -format csv -out results/
 package main
 

@@ -18,6 +18,8 @@ import (
 //	ErrNilGraph       — a nil *Graph was passed where a graph is required.
 //	*EdgeRangeError   — a batch edge has an endpoint outside [0, n); the
 //	                    error carries the offending edge and the bound.
+//	*ProcsRangeError  — Options.Procs was negative; parallelism is zero
+//	                    (defaulted) or positive, never clamped silently.
 //	*MissingEdgeError — a RemoveEdges batch references more occurrences of
 //	                    some edge than the live multiset holds; the error
 //	                    carries the shortfall.
@@ -45,6 +47,18 @@ type EdgeRangeError struct {
 
 func (e *EdgeRangeError) Error() string {
 	return fmt.Sprintf("parcc: edge (%d,%d) out of range [0,%d)", e.Edge.U, e.Edge.V, e.N)
+}
+
+// ProcsRangeError reports a negative Options.Procs.  Zero means "use the
+// default"; a negative request has no sensible reading, and clamping it
+// silently would hide the caller bug, so NewSolver (and therefore
+// ConnectedComponents) rejects it before any session state is built.
+type ProcsRangeError struct {
+	Procs int
+}
+
+func (e *ProcsRangeError) Error() string {
+	return fmt.Sprintf("parcc: Options.Procs = %d is negative (0 selects the default)", e.Procs)
 }
 
 // MissingEdgeError reports a RemoveEdges batch that references more

@@ -44,8 +44,10 @@ type incSession struct {
 // Components) available.  The solver takes ownership of g: mutate it only
 // through the incremental API afterwards (Live returns it for read-only
 // use).  Attaching again replaces the previous live graph.  The initial
-// solve is one CAS union-find pass — O(m·α) work, parallel on the
-// session's runtime — not a charged PRAM run.
+// solve is uncharged CAS union-find work, parallel on the session's
+// runtime — not a charged PRAM run: one O(m·α) Unite pass, or, for large
+// dense graphs, the Afforest-style sampling fast path (sample a few
+// neighbors per vertex, then skip the settled majority of the edge list).
 func (s *Solver) Attach(g *Graph) error {
 	if g == nil {
 		return ErrNilGraph
@@ -60,10 +62,25 @@ func (s *Solver) Attach(g *Graph) error {
 	}
 	e := s.casExec()
 	p := make([]int32, g.N)
-	e.Run(g.N, func(v int) { p[v] = int32(v) })
-	merges := par.UniteBatch(e, p, g.Edges)
-	par.Compress(e, p)
-	s.inc = &incSession{g: g, parent: p, ncomp: g.N - merges}
+	var ncomp int
+	if sampleWorthwhile(g) {
+		// Large dense attach: the Afforest-style sampling fast path
+		// settles most components from a few sampled neighbors per vertex
+		// and then skips the settled majority of the edge list, instead
+		// of paying a full Unite per edge.  The CSR it samples from is
+		// built through the session's plan cache, so the subsequent
+		// Solve/AddEdges traffic on the live graph starts warm.  The
+		// partition is identical to the UniteBatch path (component
+		// minima); the count is taken exactly, from the flattened roots.
+		plan := s.planFor(g)
+		p, ncomp = s.sampleLabelsInto(e, g, plan.CSR, p)
+	} else {
+		e.Run(g.N, func(v int) { p[v] = int32(v) })
+		merges := par.UniteBatch(e, p, g.Edges)
+		par.Compress(e, p)
+		ncomp = g.N - merges
+	}
+	s.inc = &incSession{g: g, parent: p, ncomp: ncomp}
 	// Unpublish: a snapshot of the previous live graph must not answer for
 	// the new one.  The version counter keeps running, so a reader that
 	// kept the old pointer can still tell the views apart.
@@ -213,11 +230,25 @@ func (s *Solver) RemoveEdges(batch []Edge) error {
 		}
 	}
 	sc.Sub = graph.InducedInto(inc.g, vmap, len(sc.Verts), sc.Sub)
-	s.m.Reset()
-	r := core.ConnectivityScoped(cx, sc.Sub, s.seed^(inc.batch*0x9e3779b97f4a7c15), sc.SubLabels)
-	sc.SubLabels = r.Labels
-	par.SpliceLabels(e, parent, sc.Verts, r.Labels)
-	inc.ncomp += r.NumComponents - dirtyCount
+	var subLabels []int32
+	var subComps int
+	if sampleWorthwhile(sc.Sub) {
+		// A large dense dirty region re-labels faster through the
+		// sampling fast path than through the charged FLS pipeline: the
+		// induced subgraph's CSR is built once (uncached — the subgraph
+		// is transient scratch) and most of its edges are eliminated by
+		// the skip test.  Sparse or small regions keep the paper's
+		// pipeline, which their re-solve cost is dominated by anyway.
+		csr := graph.BuildCSROn(e, sc.Sub)
+		subLabels, subComps = s.sampleLabelsInto(e, sc.Sub, csr, sc.SubLabels)
+	} else {
+		s.m.Reset()
+		r := core.ConnectivityScoped(cx, sc.Sub, s.seed^(inc.batch*0x9e3779b97f4a7c15), sc.SubLabels)
+		subLabels, subComps = r.Labels, r.NumComponents
+	}
+	sc.SubLabels = subLabels
+	par.SpliceLabels(e, parent, sc.Verts, subLabels)
+	inc.ncomp += subComps - dirtyCount
 	// The Compress above flattened the whole forest and the splice wrote a
 	// flat two-level region; queries need no further flatten.
 	inc.needsCompress = false

@@ -208,6 +208,7 @@ func All() []Experiment {
 		{"SP", "concurrent backend self-speedup T1/TP (internal/par)", SPSelfSpeedup},
 		{"QPS", "repeated-solve throughput: one-shot vs Solver session", QPSSessionReuse},
 		{"INC", "incremental updates: live session vs cold re-solve", INCIncrementalUpdates},
+		{"SOLVE", "end-to-end solve wall clock: cas vs sample vs auto", SOLVERawSolves},
 	}
 }
 

@@ -1,0 +1,43 @@
+package bench
+
+import (
+	"strconv"
+	"testing"
+)
+
+// TestSOLVEShapeAndEquivalence: the small-scale SOLVE sweep must cover all
+// twenty families with finite timings and a recorded auto decision per
+// row.  (The experiment itself panics if the three algorithms' partitions
+// ever diverge, so running it at all is the equivalence check; the ≥2×
+// and 1.1× bars bind only at -scale full and are recorded, not asserted,
+// here — small-scale wall clocks are overhead-dominated.)
+func TestSOLVEShapeAndEquivalence(t *testing.T) {
+	tab := SOLVERawSolves(Config{Scale: Small, Seed: 3})
+	if len(tab.Rows) != 20 {
+		t.Fatalf("rows = %d, want 20 families", len(tab.Rows))
+	}
+	picks := map[string]bool{"cas": true, "sample": true, "union-find": true}
+	for _, row := range tab.Rows {
+		for _, col := range []int{3, 4, 5} {
+			ms, err := strconv.ParseFloat(row[col], 64)
+			if err != nil || ms <= 0 {
+				t.Fatalf("%s: wall cell %q not a positive duration", row[0], row[col])
+			}
+		}
+		if !picks[row[6]] {
+			t.Errorf("%s: auto pick %q is not a concrete algorithm", row[0], row[6])
+		}
+		if skip, err := strconv.ParseFloat(row[7], 64); err != nil || skip < 0 || skip > 100 {
+			t.Errorf("%s: skip%% cell %q outside [0,100]", row[0], row[7])
+		}
+	}
+	if len(tab.Notes) < 3 {
+		t.Fatalf("notes = %d, want the two bar verdicts and the method note", len(tab.Notes))
+	}
+}
+
+func BenchmarkSOLVERawSolves(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		SOLVERawSolves(Config{Scale: Small, Seed: 1})
+	}
+}

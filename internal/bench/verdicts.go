@@ -87,6 +87,19 @@ var Verdicts = map[string]string{
 		"allocation per charged loop by construction, so their session gain is " +
 		"bounded — arena reuse trims allocs ~5–10% and the pool/machine reuse shows " +
 		"up at smaller instances where per-call setup is a visible fraction.",
+	"SOLVE": "Engineering measurement, not a paper claim.  The Afforest-style " +
+		"sampling fast path (sample a cache-line-confined neighbor window per vertex, " +
+		"flatten, vote a majority root, then finish over the CSR skipping settled " +
+		"regions wholesale) beats the cas union-find baseline exactly where its theory " +
+		"says it should: ≥2× on the dense block (2.1–2.5×) and relaxed-caveman " +
+		"community (2.2–2.4×) families at n=2^16, 6.3× on complete, 1.8× on dense GNM " +
+		"— and honestly loses on sparse low-degree families (paths, grids, trees) " +
+		"where the ~n successful sampling hooks cost more than the edge pass they " +
+		"would eliminate.  The auto dispatcher reads n, m, and (in the inconclusive " +
+		"mid-density band) the cached plan's max degree, and lands within 1.1× of the " +
+		"best fixed algorithm on every family (worst ≈1.05×); its decision is echoed " +
+		"in Result.Algorithm.  Partitions are asserted equal across algorithms on " +
+		"every family and run.",
 	"INC": "Engineering measurement, not a paper claim — the paper is static " +
 		"connectivity; the serving layer maintains the partition incrementally and " +
 		"falls back to the paper's pipeline only on deletions.  Insert-only streams " +

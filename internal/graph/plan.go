@@ -97,6 +97,29 @@ func (p *Plan) Valid() bool {
 // uses it to make plan-cache validation free.
 func (p *Plan) ValidQuick() bool { return p.builtM == len(p.G.Edges) }
 
+// M returns the edge count the plan was built at.
+func (p *Plan) M() int { return p.builtM }
+
+// AvgDeg returns the mean adjacency-list length (2m/n, with each self-loop
+// counted once, matching the §2.1 degree convention MinDeg/MaxDeg use).
+// Zero on an empty vertex set.
+func (p *Plan) AvgDeg() float64 {
+	if p.G.N == 0 {
+		return 0
+	}
+	return float64(len(p.CSR.Nbr)) / float64(p.G.N)
+}
+
+// Density returns m / (n·(n−1)/2), the filled fraction of the simple-graph
+// edge slots (> 1 is possible on multigraphs).  Zero when n < 2.
+func (p *Plan) Density() float64 {
+	n := float64(p.G.N)
+	if p.G.N < 2 {
+		return 0
+	}
+	return float64(p.builtM) / (n * (n - 1) / 2)
+}
+
 // Degree returns the degree of v from the cached adjacency.
 func (p *Plan) Degree(v int32) int { return p.CSR.Deg(v) }
 

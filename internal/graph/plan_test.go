@@ -96,3 +96,30 @@ func TestPlanEmptyGraph(t *testing.T) {
 		t.Error("empty graph plan")
 	}
 }
+
+// TestPlanDispatchStats pins the statistics the auto dispatcher reads off
+// a cached plan: edge count, average degree (self-loops once), and density.
+func TestPlanDispatchStats(t *testing.T) {
+	g := graph.New(4)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.AddEdge(2, 2) // self-loop: one adjacency entry
+	p := graph.NewPlan(g)
+	if p.M() != 3 {
+		t.Fatalf("M = %d, want 3", p.M())
+	}
+	if got, want := p.AvgDeg(), 5.0/4.0; got != want {
+		t.Fatalf("AvgDeg = %v, want %v", got, want)
+	}
+	if got, want := p.Density(), 3.0/6.0; got != want {
+		t.Fatalf("Density = %v, want %v", got, want)
+	}
+	empty := graph.NewPlan(graph.New(0))
+	if empty.AvgDeg() != 0 || empty.Density() != 0 {
+		t.Fatalf("empty plan stats = (%v, %v), want zeros", empty.AvgDeg(), empty.Density())
+	}
+	one := graph.NewPlan(graph.New(1))
+	if one.Density() != 0 {
+		t.Fatalf("single-vertex density = %v, want 0", one.Density())
+	}
+}

@@ -62,7 +62,21 @@ func Unite(p []int32, u, v int32) bool {
 // only shortens chases.
 func Compress(e Exec, p []int32) {
 	e.Run(len(p), func(v int) {
-		atomic.StoreInt32(&p[v], chase(p, int32(v)))
+		// Two-try fast path: in the forests this runs on (post-Unite, or
+		// re-flattening after an incremental batch) almost every vertex is
+		// a root or points at one, so the common cases resolve from the
+		// loads alone — a root needs no write, and a vertex whose parent
+		// is a root is already flat.  Only depth ≥ 2 chains pay the chase
+		// and the store.
+		pv := atomic.LoadInt32(&p[v])
+		if pv == int32(v) {
+			return
+		}
+		gp := atomic.LoadInt32(&p[pv])
+		if gp == pv {
+			return
+		}
+		atomic.StoreInt32(&p[v], chase(p, gp))
 	})
 }
 

@@ -1,0 +1,117 @@
+package par
+
+import (
+	"testing"
+
+	"parcc/internal/graph"
+	"parcc/internal/graph/gen"
+)
+
+// Microbenchmarks for the hot union-find kernels.  Run with
+//
+//	go test -run '^$' -bench 'Find|Compress|SampleUnite' -benchmem ./internal/par
+//
+// The -benchmem columns are the regression guard for the zero-alloc
+// contract TestKernelAllocs pins.
+
+func benchForest(n int) []int32 {
+	p := make([]int32, n)
+	for v := range p {
+		// Chains of length ≤ 2: the shape Find and Compress see in the
+		// steady state of a warm solver.
+		switch v % 3 {
+		case 0:
+			p[v] = int32(v)
+		default:
+			p[v] = int32(v - v%3)
+		}
+	}
+	return p
+}
+
+func BenchmarkFind(b *testing.B) {
+	p := benchForest(1 << 16)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Find(p, int32(i&(1<<16-1)))
+	}
+}
+
+func BenchmarkCompress(b *testing.B) {
+	r := New(Procs(1))
+	defer r.Close()
+	p := benchForest(1 << 16)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Compress(r, p)
+	}
+}
+
+func BenchmarkSampleUnite(b *testing.B) {
+	r := New(Procs(1), Seed(1))
+	defer r.Close()
+	g := gen.GNM(1<<14, 1<<17, 1)
+	csr := graph.BuildCSR(g)
+	p := make([]int32, g.N)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for v := range p {
+			p[v] = int32(v)
+		}
+		SampleUnite(r, p, csr, 2)
+	}
+}
+
+func BenchmarkSkipUnite(b *testing.B) {
+	r := New(Procs(1), Seed(1))
+	defer r.Close()
+	g := gen.GNM(1<<14, 1<<17, 1)
+	csr := graph.BuildCSR(g)
+	p := make([]int32, g.N)
+	for v := range p {
+		p[v] = int32(v)
+	}
+	SampleUnite(r, p, csr, 2)
+	Compress(r, p)
+	maj, _ := MajorityRoot(r, p, 1024, nil)
+	for _, mode := range []struct {
+		name string
+		maj  int32
+	}{{"majority", maj}, {"filtered", -1}} {
+		b.Run(mode.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				SkipUnite(r, p, csr, mode.maj)
+			}
+		})
+	}
+}
+
+// TestKernelAllocs pins the allocation behavior of the hot kernels on a
+// warm forest: Find is zero-alloc, Compress pays exactly its one loop-body
+// closure (nothing proportional to n), and one SampleUnite round costs at
+// most its per-chunk RNG streams.
+func TestKernelAllocs(t *testing.T) {
+	r := New(Procs(1))
+	defer r.Close()
+	p := benchForest(1 << 12)
+	if a := testing.AllocsPerRun(50, func() { Find(p, 4091) }); a != 0 {
+		t.Errorf("Find allocates %v per run, want 0", a)
+	}
+	if a := testing.AllocsPerRun(20, func() { Compress(r, p) }); a > 1 {
+		t.Errorf("Compress allocates %v per run, want ≤ 1 (the loop-body closure)", a)
+	}
+	g := gen.GNM(1<<12, 1<<13, 1)
+	csr := graph.BuildCSR(g)
+	q := make([]int32, g.N)
+	for v := range q {
+		q[v] = int32(v)
+	}
+	nchunks := float64((len(q) + 2047) / 2048) // one RNG stream per chunk
+	if a := testing.AllocsPerRun(20, func() { SampleUnite(r, q, csr, 1) }); a > 2*nchunks+2 {
+		t.Errorf("SampleUnite allocates %v per run, want ≤ %v (chunk RNG streams only)", a, 2*nchunks+2)
+	}
+}

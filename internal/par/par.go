@@ -219,6 +219,15 @@ func (r *Runtime) For(n int, body func(i int)) {
 // Run is For under the name the simulator's Executor contract uses.
 func (r *Runtime) Run(n int, body func(i int)) { r.For(n, body) }
 
+// ForRanges executes body over the grain-sized chunks [lo,hi) of [0,n) —
+// the chunked form of For, for kernels whose inner loop is tight enough
+// that a per-index closure call would dominate (SkipUnite's two-load skip
+// test is the motivating case: the per-edge work is a pair of loads and a
+// compare, so the loop must live inside the kernel, not the dispatcher).
+func (r *Runtime) ForRanges(n int, body func(lo, hi int)) {
+	r.dispatch(n, r.grain, func(lo, hi, _ int) { body(lo, hi) }, nil)
+}
+
 // RunCoarse executes body(i) for every i in [0,n) treating each index as one
 // schedulable task (chunk size 1).  Kernels that have already blocked their
 // work into coarse pieces — e.g. Compact's per-block count and scatter

@@ -20,9 +20,14 @@ func (g *RNG) Uint64() uint64 {
 	return mix64(g.s)
 }
 
-// Intn returns a pseudo-random int in [0,n).  n must be positive.
+// Intn returns a pseudo-random int in [0,n).  n must be positive and fit
+// in 32 bits.  Range reduction is the multiply-shift of Lemire (the bias
+// is ≤ n/2³² — irrelevant for sampling) rather than a modulo: the hot
+// kernels draw one index per vertex, and a hardware division per draw is
+// the difference between a sampling round costing more than the edge pass
+// it is supposed to save.
 func (g *RNG) Intn(n int) int {
-	return int(g.Uint64() % uint64(n))
+	return int((g.Uint64() >> 32) * uint64(n) >> 32)
 }
 
 // Float64 returns a pseudo-random float64 in [0,1).

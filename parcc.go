@@ -128,6 +128,30 @@ const (
 	// contraction of linear work), since CAS retry counts are not a PRAM
 	// quantity.
 	CASUnite Algorithm = "cas"
+	// Sample is the Afforest-style sampling fast path (Sutton et al.,
+	// Adaptive Work-Efficient Connected Components on the GPU): a few
+	// neighbor-sampling rounds settle most components, a majority-root
+	// vote plus a sampled skip-ratio probe decide whether the gamble paid,
+	// and the full edge pass then skips every already-settled edge with
+	// two loads and a compare, uniting only the surviving minority.  When
+	// the probes predict a skip ratio below the fallback threshold, the
+	// solve runs the full FLS pipeline instead (observable as Phases > 0).
+	// Labels are the component minima, deterministic on every backend
+	// (the sampling choices steer only how much work is skipped, never the
+	// partition); Result.SkipRatio reports the measured skip fraction.
+	// Like CASUnite, Steps/Work are charged nominally.  Wall-clock wins
+	// come on graphs whose edges concentrate inside communities — dense
+	// random graphs, block/community structure, cliques; on sparse
+	// low-degree families it roughly matches CASUnite.
+	Sample Algorithm = "sample"
+	// Auto picks the solver per graph from the session's cached plan
+	// statistics (n, m, average/max degree, density): union-find for tiny
+	// inputs, Sample when the density statistics predict a high skip
+	// ratio, CASUnite otherwise.  The decision is recorded in
+	// Result.Algorithm — a result from an Auto solve echoes the concrete
+	// algorithm that ran, never "auto".  The decision table is documented
+	// in docs/ARCHITECTURE.md.
+	Auto Algorithm = "auto"
 	// Incremental is the value Result.Algorithm echoes for results produced
 	// by the live-update path (Solver.Components after AddEdges/
 	// RemoveEdges).  It is not selectable in Options — the incremental
@@ -164,7 +188,8 @@ type Options struct {
 	// steps on the internal/par goroutine pool.
 	Backend Backend
 	// Procs bounds the concurrent backend's parallelism (default: Workers,
-	// else NumCPU).
+	// else NumCPU).  Zero means "unset"; a negative value is a caller bug
+	// and is rejected with *ProcsRangeError rather than silently clamped.
 	Procs int
 	// Workers bounds the goroutine pool (default: NumCPU).
 	Workers int
@@ -208,7 +233,17 @@ type Result struct {
 	Work int64
 	// Phases is the number of INTERWEAVE phases used (FLS only).
 	Phases int
-	// Algorithm echoes the solver used.
+	// SkipRatio is the fraction of edges the sampling fast path settled
+	// without a Unite — skipped wholesale with their vertex's adjacency
+	// range, or dismissed by the finish pass's one-compare root check —
+	// i.e. 1 − UniteAttempts/m (approximate in majority mode, where an
+	// unsettled edge between two non-majority vertices is attempted from
+	// both sides).  Algorithm Sample only; a fallback run reports the low
+	// probe estimate that triggered it.  Zero for every other algorithm.
+	SkipRatio float64
+	// Algorithm echoes the solver used.  For Options.Algorithm Auto this
+	// is the dispatch decision: the concrete algorithm the plan statistics
+	// selected.
 	Algorithm Algorithm
 	// Backend echoes the requested backend (zero value: legacy default).
 	Backend Backend

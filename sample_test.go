@@ -1,0 +1,199 @@
+package parcc
+
+import (
+	"testing"
+
+	"parcc/internal/baseline"
+	"parcc/internal/graph"
+	"parcc/internal/graph/gen"
+)
+
+// TestSampleAutoEquivalenceAcrossFamilies is the cross-algorithm property
+// suite for the sampling fast path: on every generator family and both
+// backends, `sample` and `auto` must produce the same partition as the
+// sequential cas baseline, which is itself checked against BFS ground
+// truth.  Sample's labels are additionally pinned to cas's exactly — both
+// converge to component minima under any schedule.
+func TestSampleAutoEquivalenceAcrossFamilies(t *testing.T) {
+	for name, g := range familyGraphs() {
+		truth := mustLabels(t, g, &Options{Algorithm: BFS})
+		casL := mustLabels(t, g, &Options{Algorithm: CASUnite, Backend: BackendSequential})
+		if !graph.SamePartition(truth, casL) {
+			t.Fatalf("%s: cas baseline wrong", name)
+		}
+		for _, backend := range []Backend{BackendSequential, BackendConcurrent} {
+			opts := &Options{Algorithm: Sample, Backend: backend, Procs: 4, Seed: 5}
+			res, err := ConnectedComponents(g, opts)
+			if err != nil {
+				t.Fatalf("%s/%s sample: %v", name, backend, err)
+			}
+			if !graph.SamePartition(casL, res.Labels) {
+				t.Errorf("%s/%s: sample partition differs from cas", name, backend)
+			}
+			if res.Phases == 0 {
+				// The skip pass ran: min-labels must match cas exactly.
+				for v := range casL {
+					if res.Labels[v] != casL[v] {
+						t.Fatalf("%s/%s: sample label[%d]=%d, want min-label %d",
+							name, backend, v, res.Labels[v], casL[v])
+					}
+				}
+			}
+			if res.SkipRatio < 0 || res.SkipRatio > 1 {
+				t.Errorf("%s/%s: SkipRatio = %v outside [0,1]", name, backend, res.SkipRatio)
+			}
+			auto, err := ConnectedComponents(g, &Options{Algorithm: Auto, Backend: backend, Procs: 4, Seed: 5})
+			if err != nil {
+				t.Fatalf("%s/%s auto: %v", name, backend, err)
+			}
+			if !graph.SamePartition(casL, auto.Labels) {
+				t.Errorf("%s/%s: auto partition differs from cas", name, backend)
+			}
+			switch auto.Algorithm {
+			case UnionFind, CASUnite, Sample:
+			default:
+				t.Errorf("%s/%s: auto recorded %q, want a concrete dispatch decision",
+					name, backend, auto.Algorithm)
+			}
+		}
+	}
+}
+
+// TestAutoDecisionRecorded pins the dispatch table's three regimes on
+// representative shapes: tiny → sequential union-find, dense → sample,
+// large-but-sparse → cas.
+func TestAutoDecisionRecorded(t *testing.T) {
+	cases := []struct {
+		name string
+		g    *Graph
+		want Algorithm
+	}{
+		{"tiny", gen.Path(50), UnionFind},
+		{"dense", gen.GNM(4096, 1<<16, 3), Sample},
+		{"sparse", gen.Path(1 << 13), CASUnite},
+	}
+	for _, c := range cases {
+		res, err := ConnectedComponents(c.g, &Options{Algorithm: Auto})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Algorithm != c.want {
+			t.Errorf("%s: auto picked %q, want %q", c.name, res.Algorithm, c.want)
+		}
+		if !Verify(c.g, res.Labels) {
+			t.Errorf("%s: auto labels wrong", c.name)
+		}
+	}
+}
+
+// TestAutoStableAcrossPlanCaching: the dispatch decision may refine its
+// average-degree estimate from the cached plan once the session holds one;
+// the decision and the partition must stay consistent across that upgrade.
+func TestAutoStableAcrossPlanCaching(t *testing.T) {
+	g := gen.GNM(2000, 30000, 11) // avg deg 30: sample on either estimate
+	s, err := NewSolver(&Options{Algorithm: Auto})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	cold, err := s.Solve(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Plan(g) // cache the CSR plan: the dispatcher now reads exact stats
+	warm, err := s.Solve(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cold.Algorithm != Sample || warm.Algorithm != cold.Algorithm {
+		t.Fatalf("auto picked %q cold, %q warm; want %q on both", cold.Algorithm, warm.Algorithm, Sample)
+	}
+	if !graph.SamePartition(cold.Labels, warm.Labels) {
+		t.Fatal("auto partitions diverged across plan caching")
+	}
+}
+
+// TestSampleFallbackToFLS forces the skip-ratio fallback (by raising the
+// threshold above 1) and checks the solve degrades to the full FLS
+// pipeline — observable through Phases — with a correct partition and the
+// failing probe estimate reported as the skip ratio.
+func TestSampleFallbackToFLS(t *testing.T) {
+	old := sampleFallbackSkip
+	sampleFallbackSkip = 1.1
+	defer func() { sampleFallbackSkip = old }()
+	g := gen.GNM(2000, 6000, 7)
+	res, err := ConnectedComponents(g, &Options{Algorithm: Sample, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Phases == 0 {
+		t.Fatal("fallback solve must run the FLS pipeline (Phases > 0)")
+	}
+	if res.SkipRatio > 1 {
+		t.Fatalf("fallback SkipRatio = %v, want the probe estimate ≤ 1", res.SkipRatio)
+	}
+	if !Verify(g, res.Labels) {
+		t.Fatal("fallback labels wrong")
+	}
+}
+
+// TestSampleIncrementalFastPaths drives Attach and a giant-component
+// deletion over a graph large and dense enough to route both through the
+// sampling fast path, asserting the partition and the maintained count
+// against the from-scratch oracle after every step.
+func TestSampleIncrementalFastPaths(t *testing.T) {
+	base := gen.GNM(1<<13, 1<<17, 9) // m ≥ sampleIncMinEdges, avg deg 32
+	if !sampleWorthwhile(base) {
+		t.Fatal("test graph must qualify for the sampling attach path")
+	}
+	s, err := NewSolver(&Options{Backend: BackendConcurrent, Procs: 4, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	oracle := baseline.NewIncOracle(base)
+	if err := s.Attach(base.Clone()); err != nil {
+		t.Fatal(err)
+	}
+	check := func(stage string) {
+		t.Helper()
+		res, err := s.Components()
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantLabels := oracle.Labels()
+		if !graph.SamePartition(wantLabels, res.Labels) {
+			t.Fatalf("%s: partition differs from oracle", stage)
+		}
+		distinct := map[int32]bool{}
+		for _, l := range wantLabels {
+			distinct[l] = true
+		}
+		wantN := len(distinct)
+		if res.NumComponents != wantN {
+			t.Fatalf("%s: count = %d, want %d", stage, res.NumComponents, wantN)
+		}
+	}
+	check("attach")
+
+	// Delete edges inside the giant component: the dirty region is nearly
+	// the whole (dense) graph, which is exactly the scoped re-solve the
+	// sampling path accelerates.
+	rm := []Edge{base.Edges[0], base.Edges[1], base.Edges[2]}
+	if err := s.RemoveEdges(rm); err != nil {
+		t.Fatal(err)
+	}
+	if err := oracle.RemoveEdges(rm); err != nil {
+		t.Fatal(err)
+	}
+	check("scoped re-solve")
+
+	add := []Edge{{U: 0, V: 1}, {U: 17, V: 4000}}
+	if err := s.AddEdges(add); err != nil {
+		t.Fatal(err)
+	}
+	if err := oracle.AddEdges(add); err != nil {
+		t.Fatal(err)
+	}
+	check("insert after sample paths")
+}

@@ -17,6 +17,22 @@ func TestErrorTaxonomy(t *testing.T) {
 	if _, err := ConnectedComponents(nil, nil); !errors.Is(err, ErrNilGraph) {
 		t.Fatalf("ConnectedComponents(nil) = %v, want ErrNilGraph", err)
 	}
+	// Negative parallelism is a caller bug: a typed rejection, not a
+	// silent clamp (zero still means "use the default").
+	var pe *ProcsRangeError
+	if _, err := NewSolver(&Options{Procs: -2}); !errors.As(err, &pe) {
+		t.Fatalf("NewSolver(Procs: -2) = %v, want *ProcsRangeError", err)
+	} else if pe.Procs != -2 {
+		t.Fatalf("ProcsRangeError carries %d, want -2", pe.Procs)
+	}
+	if _, err := ConnectedComponents(gen.Path(3), &Options{Procs: -1}); !errors.As(err, &pe) {
+		t.Fatalf("ConnectedComponents(Procs: -1) = %v, want *ProcsRangeError", err)
+	}
+	if s, err := NewSolver(&Options{Procs: 0}); err != nil {
+		t.Fatalf("Procs: 0 must stay the defaulted happy path, got %v", err)
+	} else {
+		s.Close()
+	}
 
 	s, err := NewSolver(nil)
 	if err != nil {

@@ -79,6 +79,9 @@ func NewSolver(opt *Options) (*Solver, error) {
 	if o.KnownGapB <= 0 {
 		o.KnownGapB = 16
 	}
+	if o.Procs < 0 {
+		return nil, &ProcsRangeError{Procs: o.Procs}
+	}
 	s := &Solver{opt: o, seed: effectiveSeed(o), arena: par.NewArena()}
 
 	procs := o.Procs
@@ -164,12 +167,16 @@ func (s *Solver) SolveInto(g *Graph, res *Result) error {
 	}
 	params.Seed ^= s.seed
 
+	algo := o.Algorithm
+	if algo == Auto {
+		algo = s.chooseAuto(g)
+	}
 	dst := res.Labels
 	*res = Result{
-		Algorithm: o.Algorithm, Backend: o.Backend, Procs: s.procs,
+		Algorithm: algo, Backend: o.Backend, Procs: s.procs,
 		Breakdown: res.Breakdown[:0],
 	}
-	switch o.Algorithm {
+	switch algo {
 	case FLS:
 		r := core.ConnectivityOn(cx, g, params, dst)
 		res.Labels, res.NumComponents, res.Phases = r.Labels, r.NumComponents, r.Phases
@@ -203,6 +210,13 @@ func (s *Solver) SolveInto(g *Graph, res *Result) error {
 		m.Contract(prim.Log2Ceil(g.N+2)+1, int64(2*g.M()+g.N), func() {
 			res.Labels = par.ComponentsInto(s.casExec(), g, dst)
 		})
+	case Sample:
+		labels, ratio, fls := s.solveSample(g, params, dst)
+		res.Labels, res.SkipRatio = labels, ratio
+		if fls != nil {
+			res.NumComponents, res.Phases = fls.NumComponents, fls.Phases
+			res.Breakdown = stageCostsInto(res.Breakdown, fls.Breakdown)
+		}
 	case UnionFind:
 		res.Labels = baseline.UnionFindLabelsInto(cx, g, dst)
 	case BFS:
@@ -305,10 +319,180 @@ func (s *Solver) planStillValid() bool {
 	return s.plan.Valid()
 }
 
+// Tuning of the sampling fast path and the auto dispatcher.  The constants
+// are deliberately coarse: the decision only has to be right about orders
+// of magnitude, and every branch is correct — a wrong guess costs wall
+// clock, never the partition.
+const (
+	// sampleRounds is the number of neighbor-sampling rounds before the
+	// skip pass; Afforest's k.  Two rounds settle dense communities and —
+	// because low-degree vertices enumerate their adjacency exactly —
+	// cover degree ≤ 2 regions completely.
+	sampleRounds = 2
+	// sampleProbes sizes the majority vote and the skip-ratio probe.
+	sampleProbes = 1024
+	// sampleMajorityCover is the majority coverage above which the skip
+	// pass proceeds without probing edges: a component holding ≥ 45% of
+	// the vertices guarantees a large settled-edge fraction by itself.
+	sampleMajorityCover = 0.45
+	// autoTinyCutoff is the n+m size below which Auto picks the
+	// sequential union-find: at that scale pool dispatch and atomics cost
+	// more than the whole solve.
+	autoTinyCutoff = 1 << 13
+	// autoSampleAvgDeg is the average degree (2m/n) at which Auto
+	// switches from cas to sample unconditionally.  The sampling phase's
+	// cost is dominated by its ~n successful hooks — a hard floor
+	// independent of m — so sampling only pays once the edge pass it
+	// eliminates is worth several multiples of that floor; measured on
+	// this container the unconditional crossover sits at 2m/n ≈ 16.
+	autoSampleAvgDeg = 16.0
+	// autoSampleSkewDeg/autoSampleMaxDeg bound the inconclusive band
+	// below autoSampleAvgDeg where the average alone cannot decide: a
+	// moderate average hiding a high-degree core (lollipop/barbell-style
+	// clique cores) still samples well, because the core collapses in one
+	// round and its edges dominate m.  In that band Auto consults the
+	// plan's exact MaxDeg — building (and caching) the plan if the
+	// session does not hold one yet.
+	autoSampleSkewDeg = 4.0
+	autoSampleMaxDeg  = 64
+	// sampleIncMinEdges is the edge count above which Attach and the
+	// scoped re-solve route through the sampling fast path.
+	sampleIncMinEdges = 1 << 15
+)
+
+// sampleFallbackSkip is the predicted skip ratio below which the sample
+// algorithm concedes the gamble and runs the full FLS pipeline instead.
+// Package-level variable so tests can force the fallback deterministically.
+var sampleFallbackSkip = 0.2
+
+// chooseAuto is the Auto dispatch decision: tiny inputs to the sequential
+// union-find, clearly dense inputs to the sampling fast path, clearly
+// sparse ones to cas — all decided O(1) from n and m.  In the inconclusive
+// band between the sparse and dense thresholds the average is refined by
+// the plan's exact degree statistics (a moderate average can hide a
+// high-degree clique core whose edges dominate m and sample away): the
+// plan is built through the session cache if not already held, an O(m)
+// cost paid once per graph and reused by every later solve — and by the
+// sample algorithm itself if selected.  With Options.TrustGraph unset, a
+// warm re-decision in that band revalidates the cached plan's fingerprint
+// (O(m)), the same cost every plan consumer pays.  The decision table is
+// documented in docs/ARCHITECTURE.md.  Callers hold s.mu.
+func (s *Solver) chooseAuto(g *Graph) Algorithm {
+	n, m := g.N, g.M()
+	if n+m <= autoTinyCutoff {
+		return UnionFind
+	}
+	avg := 2 * float64(m) / float64(n)
+	if avg >= autoSampleAvgDeg {
+		return Sample
+	}
+	if avg >= autoSampleSkewDeg {
+		if plan := s.planFor(g); float64(plan.MaxDeg) >= autoSampleMaxDeg &&
+			plan.AvgDeg() >= autoSampleSkewDeg {
+			return Sample
+		}
+	}
+	return CASUnite
+}
+
+// solveSample is the Afforest-style sampling solve: sample → flatten →
+// probe → skip → finish, with the FLS pipeline as the fallback when the
+// probes predict too low a skip ratio.  Returns the labels, the skip ratio
+// (measured when the skip pass ran, the failing probe estimate when it did
+// not), and the FLS result if the fallback ran (nil otherwise).  The
+// kernel phases are charged nominally, like CASUnite; an FLS fallback adds
+// the pipeline's own charges on top, so Steps/Work honestly reflect the
+// wasted gamble.  Callers hold s.mu.
+func (s *Solver) solveSample(g *Graph, params core.Params, dst []int32) ([]int32, float64, *core.Result) {
+	e := s.casExec()
+	plan := s.planFor(g)
+	n := g.N
+	p := dst
+	if cap(p) < n {
+		p = make([]int32, n)
+	}
+	p = p[:n]
+
+	var est float64
+	maj := int32(-1)
+	probeBuf := s.cx.Grab32(sampleProbes)
+	defer s.cx.Release32(probeBuf)
+	s.m.Contract(prim.Log2Ceil(n+2)+1, int64((sampleRounds+1)*n+2*sampleProbes), func() {
+		e.Run(n, func(v int) { p[v] = int32(v) })
+		par.SampleUnite(e, p, plan.CSR, sampleRounds)
+		par.Compress(e, p)
+		root, cover := par.MajorityRoot(e, p, sampleProbes, probeBuf)
+		if cover >= sampleMajorityCover {
+			// A dominant component: the finish pass skips its vertices'
+			// adjacency ranges wholesale (the pure Afforest signal — no
+			// need to probe edges).
+			maj, est = root, 1
+		} else {
+			// No single majority — probe sampled edges directly, which
+			// keeps multi-community graphs (every block settled, none
+			// dominant) on the fast path, in direction-filtered mode.
+			est = par.EstimateSkip(e, p, g.Edges, sampleProbes)
+		}
+	})
+	if est < sampleFallbackSkip {
+		r := core.ConnectivityOn(s.cx, g, params, p)
+		return r.Labels, est, r
+	}
+
+	var processed int64
+	s.m.Contract(prim.Log2Ceil(n+2)+1, int64(2*g.M()+n), func() {
+		processed = par.SkipUnite(e, p, plan.CSR, maj)
+		par.Compress(e, p)
+	})
+	ratio := 1.0
+	if m := g.M(); m > 0 {
+		// Approximate in majority mode (an unsettled edge between two
+		// non-majority vertices is attempted from both sides), exact in
+		// the filtered mode; clamped for the pathological double-count.
+		ratio = max(0, 1-float64(processed)/float64(m))
+	}
+	return p, ratio, nil
+}
+
+// sampleLabelsInto is the uncharged kernel sequence of the sampling fast
+// path over an explicit CSR — identity init, sampling rounds, flatten,
+// full skip pass, flatten, root count — shared by Attach and the scoped
+// re-solve of RemoveEdges for large dense inputs.  Returns the labels
+// (component minima) and the exact component count.  Callers hold s.mu.
+func (s *Solver) sampleLabelsInto(e *par.Runtime, g *graph.Graph, csr *graph.CSR, dst []int32) ([]int32, int) {
+	n := g.N
+	p := dst
+	if cap(p) < n {
+		p = make([]int32, n)
+	}
+	p = p[:n]
+	e.Run(n, func(v int) { p[v] = int32(v) })
+	par.SampleUnite(e, p, csr, sampleRounds)
+	par.Compress(e, p)
+	maj := int32(-1)
+	probeBuf := s.cx.Grab32(sampleProbes)
+	if root, cover := par.MajorityRoot(e, p, sampleProbes, probeBuf); cover >= sampleMajorityCover {
+		maj = root
+	}
+	s.cx.Release32(probeBuf)
+	par.SkipUnite(e, p, csr, maj)
+	par.Compress(e, p)
+	roots := par.Count(e, n, func(v int) bool { return p[v] == int32(v) })
+	return p, int(roots)
+}
+
+// sampleWorthwhile reports whether the incremental paths should route a
+// full-graph labeling through the sampling fast path: enough edges that
+// the skip pass amortizes its CSR traversal, and dense enough that a
+// meaningful fraction of them will be skipped.
+func sampleWorthwhile(g *graph.Graph) bool {
+	return g.M() >= sampleIncMinEdges && 2*float64(g.M()) >= autoSampleAvgDeg*float64(g.N)
+}
+
 func knownAlgorithm(a Algorithm) bool {
 	switch a {
 	case FLS, FLSKnownGap, LTZ, SV, RandomMate, LabelProp, LT, ParBFS,
-		CASUnite, UnionFind, BFS:
+		CASUnite, UnionFind, BFS, Sample, Auto:
 		return true
 	}
 	return false
