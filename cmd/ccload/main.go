@@ -25,9 +25,12 @@
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
 	"math/rand"
+	"net"
+	"net/http"
 	"os"
 	"strconv"
 	"strings"
@@ -93,7 +96,7 @@ func main() {
 			"magnitude more QPS than answering each query with a full from-scratch solve, and " +
 			"read throughput scales with shard count while coalescing amortizes write batches",
 		Columns: []string{"workload", "shards", "n/shard", "m0/shard", "workers",
-			"ops", "qps", "naive qps", "speedup"},
+			"ops", "qps", "applies", "coalesce%", "publish µs", "naive qps", "speedup"},
 	}
 
 	// Naive baseline: every point query pays a full solve of the same
@@ -110,7 +113,7 @@ func main() {
 	readHeavySpeedup := 0.0
 	for _, m := range mixes {
 		for _, shards := range shardCounts {
-			ops, wall := runWorkload(opts, m, *n, *deg, *block, shards, *workers, *batch, *window, *seed, *dur)
+			ops, wall, sm := runWorkload(opts, m, *n, *deg, *block, shards, *workers, *batch, *window, *seed, *dur)
 			qps := float64(ops) / wall.Seconds()
 			naiveCell, speedupCell := "-", "-"
 			if naiveQPS > 0 {
@@ -120,7 +123,8 @@ func main() {
 					readHeavySpeedup = qps / naiveQPS
 				}
 			}
-			t.Add(m.name, shards, *n, *deg**n, *workers, ops, qps, naiveCell, speedupCell)
+			t.Add(m.name, shards, *n, *deg**n, *workers, ops, qps,
+				sm.appliesCell(), sm.coalesceCell(), sm.publishCell(), naiveCell, speedupCell)
 			fmt.Fprintf(os.Stderr, "%-18s shards=%d: %d ops in %v (%.0f qps)\n",
 				m.name, shards, ops, wall.Round(time.Millisecond), qps)
 		}
@@ -137,6 +141,9 @@ func main() {
 	t.Note("the naive baseline answers every query with a full solve of the same graph on a " +
 		"warm persistent session (cached CSR plan, union-find — the cheapest full algorithm), " +
 		"i.e. it is the strongest opponent that lacks snapshots and incrementality.")
+	t.Note("applies / coalesce%% / publish µs are GET /metrics deltas scraped over loopback " +
+		"HTTP around each measured window (parcc_engine_applies_total, coalesced/writes, mean " +
+		"parcc_snapshot_publish_seconds) — the same surface ccserved exports to Prometheus.")
 	if naiveQPS > 0 {
 		verdict := "PASS"
 		if readHeavySpeedup < 10 {
@@ -177,10 +184,92 @@ func blockUnion(n, deg, block int, seed uint64) *parcc.Graph {
 	return g
 }
 
+// svcMetrics is the /metrics delta of one measured window: the engine's
+// own Prometheus counters scraped over HTTP before and after the run.
+type svcMetrics struct {
+	ok                bool // both scrapes succeeded
+	writes, applies   float64
+	coalesced         float64
+	pubCount, pubSecs float64
+}
+
+func (s svcMetrics) appliesCell() string {
+	if !s.ok {
+		return "-"
+	}
+	return fmt.Sprintf("%.0f", s.applies)
+}
+
+func (s svcMetrics) coalesceCell() string {
+	if !s.ok || s.writes == 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%.1f%%", 100*s.coalesced/s.writes)
+}
+
+func (s svcMetrics) publishCell() string {
+	if !s.ok || s.pubCount == 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%.1f", 1e6*s.pubSecs/s.pubCount)
+}
+
+// scrapeMetrics GETs a Prometheus text page and returns the unlabeled
+// samples by name (labeled per-shard series are skipped — the engine
+// totals are what the deltas need).
+func scrapeMetrics(url string) (map[string]float64, error) {
+	resp, err := http.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("scrape %s: status %d", url, resp.StatusCode)
+	}
+	out := map[string]float64{}
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 2 || strings.Contains(fields[0], "{") {
+			continue
+		}
+		v, err := strconv.ParseFloat(fields[1], 64)
+		if err != nil {
+			continue
+		}
+		out[fields[0]] = v
+	}
+	return out, sc.Err()
+}
+
+// metricsDelta converts a before/after scrape pair into the window's
+// counter deltas.
+func metricsDelta(before, after map[string]float64) svcMetrics {
+	if before == nil || after == nil {
+		return svcMetrics{}
+	}
+	d := func(name string) float64 { return after[name] - before[name] }
+	return svcMetrics{
+		ok:        true,
+		writes:    d("parcc_engine_writes_total"),
+		applies:   d("parcc_engine_applies_total"),
+		coalesced: d("parcc_engine_coalesced_total"),
+		pubCount:  d("parcc_snapshot_publish_seconds_count"),
+		pubSecs:   d("parcc_snapshot_publish_seconds_sum"),
+	}
+}
+
 // runWorkload measures one (mix, shard count) cell: an engine with
 // `shards` independent block-union sessions, `workers` closed-loop
-// clients spreading ops across them, for roughly dur.
-func runWorkload(opts *parcc.Options, m mix, n, deg, block, shards, workers, batchSize int, window time.Duration, seed uint64, dur time.Duration) (int64, time.Duration) {
+// clients spreading ops across them, for roughly dur.  The engine's real
+// HTTP handler is served on a loopback port and /metrics is scraped
+// before and after the window, so the embedded deltas exercise the same
+// scrape path Prometheus would.
+func runWorkload(opts *parcc.Options, m mix, n, deg, block, shards, workers, batchSize int, window time.Duration, seed uint64, dur time.Duration) (int64, time.Duration, svcMetrics) {
 	eng := service.New(service.Options{Solver: opts, CoalesceWindow: window})
 	defer eng.Close()
 	names := make([]string, shards)
@@ -191,6 +280,30 @@ func runWorkload(opts *parcc.Options, m mix, n, deg, block, shards, workers, bat
 			os.Exit(1)
 		}
 	}
+
+	// Serve the real API on loopback for the metric scrapes.  Scrape
+	// failures degrade the metric cells to "-" rather than failing the run.
+	var metricsURL string
+	if ln, err := net.Listen("tcp", "127.0.0.1:0"); err == nil {
+		srv := &http.Server{Handler: service.NewHandler(eng)}
+		go srv.Serve(ln)
+		defer srv.Close()
+		metricsURL = fmt.Sprintf("http://%s/metrics", ln.Addr())
+	} else {
+		fmt.Fprintln(os.Stderr, "ccload: metrics listener:", err)
+	}
+	scrape := func() map[string]float64 {
+		if metricsURL == "" {
+			return nil
+		}
+		mm, err := scrapeMetrics(metricsURL)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ccload: metrics scrape:", err)
+			return nil
+		}
+		return mm
+	}
+	before := scrape()
 
 	var stop atomic.Bool
 	var total atomic.Int64
@@ -262,7 +375,8 @@ func runWorkload(opts *parcc.Options, m mix, n, deg, block, shards, workers, bat
 	time.Sleep(dur)
 	stop.Store(true)
 	wg.Wait()
-	return total.Load(), time.Since(start)
+	wall := time.Since(start)
+	return total.Load(), wall, metricsDelta(before, scrape())
 }
 
 // naiveBaseline measures the no-service alternative: the same point

@@ -40,6 +40,7 @@ func main() {
 		speedup   = flag.Bool("speedup", false, "report T1/TP self-speedup of the concurrent backend (runs twice)")
 		verify    = flag.Bool("verify", false, "check the result against BFS")
 		list      = flag.Bool("components", false, "print every component")
+		trace     = flag.Bool("trace", false, "record and print the solve-phase trace (wall time per phase, kernel counters)")
 	)
 	flag.Parse()
 
@@ -57,6 +58,7 @@ func main() {
 		Sequential: *seq,
 		Seed:       *seed,
 		KnownGapB:  *b,
+		Trace:      *trace,
 	}
 	if *speedup {
 		opt.Backend = parcc.BackendConcurrent
@@ -82,6 +84,9 @@ func main() {
 	fmt.Printf("wall clock:  %v\n", wall)
 	if res.Phases > 0 {
 		fmt.Printf("phases:      %d\n", res.Phases)
+	}
+	if *trace && res.Trace != nil {
+		res.Trace.WriteText(os.Stdout)
 	}
 
 	if *speedup {

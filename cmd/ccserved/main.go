@@ -16,6 +16,11 @@
 //
 //	ccserved -preload web=expander:n=65536,d=8 -preload mesh=grid:r=256,c=256
 //
+// Observability: GET /metrics exposes the engine's Prometheus counters and
+// the snapshot-publish latency histogram; GET /graphs/{name}/trace returns
+// the session's last solve-phase trace (-trace, on by default); -pprof
+// mounts net/http/pprof under /debug/pprof/ (off by default).
+//
 // On SIGINT/SIGTERM the server drains gracefully: in-flight HTTP requests
 // finish, queued mutation batches are applied, then every session is
 // released.
@@ -50,6 +55,8 @@ func main() {
 		maxBatch = flag.Int("maxbatch", 1<<16, "max edges combined into one coalesced apply")
 		queue    = flag.Int("queue", 256, "per-shard mutation queue depth (back pressure beyond it)")
 		drain    = flag.Duration("drain", 15*time.Second, "graceful shutdown timeout for in-flight HTTP requests")
+		trace    = flag.Bool("trace", true, "record per-operation solve traces (GET /graphs/{name}/trace)")
+		pprofOn  = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ (trusted networks only)")
 	)
 	var preloads []string
 	flag.Func("preload", "name=genspec graph to create at startup (repeatable), e.g. web=expander:n=65536,d=8", func(s string) error {
@@ -70,6 +77,7 @@ func main() {
 			Procs:      *procs,
 			Seed:       *seed,
 			TrustGraph: *trust,
+			Trace:      *trace,
 		},
 		CoalesceWindow: *window,
 		MaxBatchEdges:  *maxBatch,
@@ -91,7 +99,8 @@ func main() {
 		log.Printf("preloaded %q: n=%d m=%d", name, g.N, g.M())
 	}
 
-	srv := &http.Server{Addr: *addr, Handler: service.NewHandler(eng)}
+	handler := service.NewHandlerOpts(eng, service.HandlerOptions{Pprof: *pprofOn})
+	srv := &http.Server{Addr: *addr, Handler: handler}
 	go func() {
 		log.Printf("ccserved listening on %s", *addr)
 		if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {

@@ -2,9 +2,11 @@ package parcc
 
 import (
 	"fmt"
+	"time"
 
 	"parcc/internal/core"
 	"parcc/internal/graph"
+	"parcc/internal/obs"
 	"parcc/internal/par"
 )
 
@@ -55,11 +57,18 @@ func (s *Solver) Attach(g *Graph) error {
 	if err := g.Validate(); err != nil {
 		return fmt.Errorf("parcc: %w", err)
 	}
+	var start time.Time
+	if s.rec != nil {
+		start = time.Now()
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
 		return ErrSolverClosed
 	}
+	rec := s.rec
+	rec.Reset()
+	rec.Add(obs.CtrBatchEdges, int64(g.M()))
 	e := s.casExec()
 	p := make([]int32, g.N)
 	var ncomp int
@@ -72,12 +81,19 @@ func (s *Solver) Attach(g *Graph) error {
 		// Solve/AddEdges traffic on the live graph starts warm.  The
 		// partition is identical to the UniteBatch path (component
 		// minima); the count is taken exactly, from the flattened roots.
+		span := rec.Begin()
 		plan := s.planFor(g)
+		rec.End(obs.PhasePlan, span)
 		p, ncomp = s.sampleLabelsInto(e, g, plan.CSR, p)
 	} else {
+		span := rec.Begin()
 		e.Run(g.N, func(v int) { p[v] = int32(v) })
 		merges := par.UniteBatch(e, p, g.Edges)
+		rec.Add(obs.CtrCASAttempts, int64(g.M()))
+		rec.Add(obs.CtrCASHooks, int64(merges))
+		span = rec.Lap(obs.PhaseUnite, span)
 		par.Compress(e, p)
+		rec.End(obs.PhaseCompress, span)
 		ncomp = g.N - merges
 	}
 	s.inc = &incSession{g: g, parent: p, ncomp: ncomp}
@@ -85,6 +101,9 @@ func (s *Solver) Attach(g *Graph) error {
 	// the new one.  The version counter keeps running, so a reader that
 	// kept the old pointer can still tell the views apart.
 	s.snap.Store(nil)
+	if rec != nil {
+		s.lastTrace = incTraceFromRecorder(rec, "attach", time.Since(start))
+	}
 	return nil
 }
 
@@ -109,6 +128,10 @@ func (s *Solver) Live() *Graph {
 // unchanged.  Safe for concurrent callers (the session lock serializes all
 // mutations and queries).
 func (s *Solver) AddEdges(batch []Edge) error {
+	var start time.Time
+	if s.rec != nil {
+		start = time.Now()
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	inc, err := s.incReady()
@@ -124,17 +147,28 @@ func (s *Solver) AddEdges(batch []Edge) error {
 	if len(batch) == 0 {
 		return nil
 	}
+	rec := s.rec
+	rec.Reset()
+	rec.Add(obs.CtrBatchEdges, int64(len(batch)))
 	inc.g.Edges = append(inc.g.Edges, batch...)
 	inc.batch++
 	// The cached plan (if it covers the live graph) is now a strict prefix;
 	// planFor extends it by delta on the next plan-consuming solve rather
 	// than rebuilding — nothing to do eagerly, and the insert path stays
 	// O(|batch|).
-	if merges := par.UniteBatch(s.casExec(), inc.parent, batch); merges > 0 {
+	span := rec.Begin()
+	merges := par.UniteBatch(s.casExec(), inc.parent, batch)
+	rec.End(obs.PhaseUnite, span)
+	rec.Add(obs.CtrCASAttempts, int64(len(batch)))
+	rec.Add(obs.CtrCASHooks, int64(merges))
+	if merges > 0 {
 		inc.ncomp -= merges
 		// Only a winning hook can leave a chain; failed unites and finds
 		// at most shorten paths.
 		inc.needsCompress = true
+	}
+	if rec != nil {
+		s.lastTrace = incTraceFromRecorder(rec, "add-edges", time.Since(start))
 	}
 	return nil
 }
@@ -150,6 +184,10 @@ func (s *Solver) AddEdges(batch []Edge) error {
 // leaves the live state unchanged.  Removing only self-loops skips the
 // re-solve entirely (a loop never carries connectivity).
 func (s *Solver) RemoveEdges(batch []Edge) error {
+	var start time.Time
+	if s.rec != nil {
+		start = time.Now()
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	inc, err := s.incReady()
@@ -186,6 +224,10 @@ func (s *Solver) RemoveEdges(batch []Edge) error {
 	// Removal sweep: filter the edge list in place, marking the root of
 	// every removed non-loop edge dirty (both endpoints share a root — the
 	// edge connected them until now).
+	rec := s.rec
+	rec.Reset()
+	rec.Add(obs.CtrBatchEdges, int64(len(batch)))
+	span := rec.Begin()
 	e := s.casExec()
 	cx := s.cx
 	parent := inc.parent
@@ -210,8 +252,13 @@ func (s *Solver) RemoveEdges(batch []Edge) error {
 	if s.plan != nil && s.plan.G == inc.g {
 		s.plan = nil // removal invalidates the delta chain; force a rebuild
 	}
+	rec.Add(obs.CtrDirtyComponents, int64(dirtyCount))
 	if dirtyCount == 0 {
 		cx.Release32(dirty)
+		if rec != nil {
+			rec.End(obs.PhaseExtract, span)
+			s.lastTrace = incTraceFromRecorder(rec, "remove-edges", time.Since(start))
+		}
 		return nil
 	}
 
@@ -230,6 +277,9 @@ func (s *Solver) RemoveEdges(batch []Edge) error {
 		}
 	}
 	sc.Sub = graph.InducedInto(inc.g, vmap, len(sc.Verts), sc.Sub)
+	rec.Add(obs.CtrScopedVertices, int64(sc.Sub.N))
+	rec.Add(obs.CtrScopedEdges, int64(sc.Sub.M()))
+	span = rec.Lap(obs.PhaseExtract, span)
 	var subLabels []int32
 	var subComps int
 	if sampleWorthwhile(sc.Sub) {
@@ -247,13 +297,20 @@ func (s *Solver) RemoveEdges(batch []Edge) error {
 		subLabels, subComps = r.Labels, r.NumComponents
 	}
 	sc.SubLabels = subLabels
+	// The re-solve recorded its own phases (the sampling kernels' or the
+	// FLS pipeline's); the scoped span pools them into the headline number.
+	span = rec.Lap(obs.PhaseScoped, span)
 	par.SpliceLabels(e, parent, sc.Verts, subLabels)
+	rec.End(obs.PhaseSplice, span)
 	inc.ncomp += subComps - dirtyCount
 	// The Compress above flattened the whole forest and the splice wrote a
 	// flat two-level region; queries need no further flatten.
 	inc.needsCompress = false
 	cx.Release32(vmap)
 	cx.Release32(dirty)
+	if rec != nil {
+		s.lastTrace = incTraceFromRecorder(rec, "remove-edges", time.Since(start))
+	}
 	return nil
 }
 

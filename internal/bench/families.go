@@ -1,0 +1,22 @@
+package bench
+
+import "parcc"
+
+// Family is one generator family of the SOLVE sweep, exposed so tests
+// outside this package (the auto-dispatch golden test) can run against
+// the exact graph population the tracked benchmark measures.
+type Family struct {
+	Name string
+	Make func() *parcc.Graph
+}
+
+// Families instantiates all twenty generator families at the target
+// vertex count, in sweep order.
+func Families(n int, seed uint64) []Family {
+	fams := solveFamilies(n, seed)
+	out := make([]Family, 0, len(fams))
+	for _, f := range fams {
+		out = append(out, Family{Name: f.name, Make: f.make})
+	}
+	return out
+}

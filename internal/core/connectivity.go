@@ -7,6 +7,7 @@ import (
 	"parcc/internal/graph"
 	"parcc/internal/labeled"
 	"parcc/internal/ltz"
+	"parcc/internal/obs"
 	"parcc/internal/pram"
 	"parcc/internal/prim"
 	"parcc/internal/solve"
@@ -49,6 +50,7 @@ func ConnectivityOn(cx *solve.Ctx, g *graph.Graph, p Params, dst []int32) *Resul
 	res := &Result{}
 	f := labeled.NewOn(cx.A, g.N)
 	m.ResetMarks()
+	span := cx.Rec.Begin()
 
 	// Step 1 is New's initialization (v.p = v).
 	// Step 2: REDUCE — contract to n/poly(log n) vertices (skipped only by
@@ -63,6 +65,7 @@ func ConnectivityOn(cx *solve.Ctx, g *graph.Graph, p Params, dst []int32) *Resul
 		red = s1.Reduce(g)
 	}
 	m.SetMark("stage1-reduce")
+	span = cx.Rec.Lap(obs.PhaseReduce, span)
 	Gp := red.Edges // E(G′), kept un-ALTERed for the rest of the run (§7.4)
 	roots := red.Roots
 
@@ -86,6 +89,7 @@ func ConnectivityOn(cx *solve.Ctx, g *graph.Graph, p Params, dst []int32) *Resul
 	})
 
 	m.SetMark("presample")
+	span = cx.Rec.Lap(obs.PhasePresample, span)
 
 	// Step 4: E_filter = copy of E(G′).
 	Efilter := cx.CopyEdges(Gp)
@@ -103,6 +107,7 @@ func ConnectivityOn(cx *solve.Ctx, g *graph.Graph, p Params, dst []int32) *Resul
 		res.PhaseRounds = append(res.PhaseRounds, m.Steps()-stepsBefore)
 		res.FinalB = p.bSchedule(i)
 		m.SetMark(fmt.Sprintf("phase-%d", i))
+		span = cx.Rec.Lap(obs.PhaseInterweave, span)
 		if finished {
 			done = true
 			res.UsedRemain = true
@@ -122,9 +127,12 @@ func ConnectivityOn(cx *solve.Ctx, g *graph.Graph, p Params, dst []int32) *Resul
 		labeled.FlattenAll(m, f)
 	}
 	m.SetMark("finish")
+	span = cx.Rec.Lap(obs.PhaseFinish, span)
 
 	res.Labels = labeled.LabelsOnInto(m.Exec(), f, dst)
 	res.NumComponents = solve.NumLabels(cx, res.Labels, g.N)
+	cx.Rec.End(obs.PhaseCount, span)
+	cx.Rec.Add(obs.CtrFLSPhases, int64(res.Phases))
 	res.Steps = m.Steps()
 	res.Work = m.Work()
 	res.Elapsed = time.Since(start)
@@ -207,8 +215,9 @@ func interweave(cx *solve.Ctx, f *labeled.Forest, s1 *stage1.Runner, env phaseEn
 		lp := p.LTZ
 		lp.Seed ^= uint64(env.phase) * 0x9e37
 		st := ltz.NewStateOn(cx, f, active, H1, lp)
-		st.Run(p.H1Rounds * int(prim.Log2Ceil(b+1)))
-		st.Run(p.H1Rounds * int(prim.LogLog(f.Len()+4)))
+		r1 := st.Run(p.H1Rounds * int(prim.Log2Ceil(b+1)))
+		r2 := st.Run(p.H1Rounds * int(prim.LogLog(f.Len()+4)))
+		cx.Rec.Add(obs.CtrLTZRounds, int64(r1+r2))
 		eh := labeled.Alter(m, f, st.CurrentEdges())
 		cx.ReleaseEdges(H1) // pre-Step-3 backing, already copied into st
 		H1 = eh
@@ -398,11 +407,13 @@ func SolveKnownGapOn(cx *solve.Ctx, g *graph.Graph, b int, p Params, dst []int32
 	start := time.Now()
 	f := labeled.NewOn(cx.A, g.N)
 	m.ResetMarks()
+	span := cx.Rec.Begin()
 
 	// Stage 1: REDUCE.
 	s1 := stage1.NewRunnerOn(cx, f, p.Stage1)
 	red := s1.Reduce(g)
 	m.SetMark("stage1-reduce")
+	span = cx.Rec.Lap(obs.PhaseReduce, span)
 
 	// Stage 2: INCREASE to min degree b.
 	s2p := stage2.DefaultParams(g.N, b)
@@ -412,6 +423,7 @@ func SolveKnownGapOn(cx *solve.Ctx, g *graph.Graph, b int, p Params, dst []int32
 		stage2.IncreaseOn(cx, f, red.Roots, E, s2p)
 	}
 	m.SetMark("stage2-increase")
+	span = cx.Rec.Lap(obs.PhaseIncrease, span)
 
 	// Stage 3: SAMPLESOLVE on the current graph.
 	active := activeRoots(cx, f, red.Roots, E)
@@ -420,17 +432,21 @@ func SolveKnownGapOn(cx *solve.Ctx, g *graph.Graph, b int, p Params, dst []int32
 		stage3.SampleSolveOn(cx, f, active, E, p.Stage3)
 	}
 	m.SetMark("stage3-samplesolve")
+	span = cx.Rec.Lap(obs.PhaseSampleSolve, span)
 
 	// Backstop for sampling losses (the §3.4 corner case / KKT cleanup).
 	labeled.FlattenAll(m, f)
 	usedBackstop := backstop(cx, f, red.Edges, p)
 	labeled.FlattenAll(m, f)
 	m.SetMark("backstop")
+	span = cx.Rec.Lap(obs.PhaseFinish, span)
 
 	labels := labeled.LabelsOnInto(m.Exec(), f, dst)
+	ncomp := solve.NumLabels(cx, labels, g.N)
+	cx.Rec.End(obs.PhaseCount, span)
 	res := &Result{
 		Labels:        labels,
-		NumComponents: solve.NumLabels(cx, labels, g.N),
+		NumComponents: ncomp,
 		Steps:         m.Steps(),
 		Work:          m.Work(),
 		Elapsed:       time.Since(start),

@@ -22,6 +22,7 @@ import (
 
 	"parcc/internal/graph"
 	"parcc/internal/labeled"
+	"parcc/internal/obs"
 	"parcc/internal/pram"
 	"parcc/internal/solve"
 )
@@ -511,9 +512,12 @@ func SolveOn(m *pram.Machine, f *labeled.Forest, V []int32, E []graph.Edge, p Pa
 }
 
 // SolveOnCtx is SolveOn drawing all working state from the solve context.
+// Rounds executed are accrued onto the context recorder's ltz_rounds
+// counter (a no-op with tracing off).
 func SolveOnCtx(cx *solve.Ctx, f *labeled.Forest, V []int32, E []graph.Edge, p Params) int64 {
 	s := NewStateOn(cx, f, V, E, p)
 	defer s.Free()
+	defer func() { cx.Rec.Add(obs.CtrLTZRounds, s.round) }()
 	maxR := p.MaxRounds
 	if maxR <= 0 {
 		maxR = 4*log2(len(f.P)+2) + 64

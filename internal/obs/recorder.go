@@ -1,0 +1,276 @@
+// Package obs is the observability layer of the solver stack: an
+// allocation-free, atomic-counter Recorder that the solve paths thread
+// through internal/solve.Ctx, and a small Prometheus-style metrics
+// Registry the serving layer exports on /metrics.
+//
+// The Recorder's contract is built around two constraints of the hot
+// paths it instruments:
+//
+//   - Nil-safety: every method is a no-op on a nil *Recorder, checked
+//     first thing, so a solve path with tracing disabled pays exactly one
+//     predictable (always-taken-the-same-way) branch per call site and no
+//     allocation anywhere.  Callers never guard call sites themselves —
+//     the nil receiver IS the "tracing off" state.
+//   - Allocation freedom: phases, counters, and gauges are small fixed
+//     enums indexing flat atomic arrays.  Begin/Lap/End pass int64
+//     monotonic timestamps (nanoseconds since the package epoch, taken
+//     from time.Since's monotonic reading), so recording a span is two
+//     clock reads and one atomic add — no time.Time boxing, no maps, no
+//     interface values.
+//
+// A Recorder is owned by one parcc.Solver and reset at the start of each
+// traced operation (solve or incremental batch) under the session lock;
+// the atomic operations make it additionally safe for the solve's worker
+// goroutines to add counts concurrently mid-operation.
+package obs
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Phase identifies one span of a solve or incremental operation.  The
+// values are indices into the Recorder's flat timing array; String gives
+// the stable external name used in traces and docs.
+type Phase uint8
+
+// Recorder phases.  The first group is the sampling fast path
+// (sample → vote → skip), the second the FLS pipeline's stages, the third
+// the incremental path, plus the shared bookkeeping spans.
+const (
+	// PhaseValidate is the edge-range validation sweep of Solve entry.
+	PhaseValidate Phase = iota
+	// PhasePlan is CSR plan lookup: cache validation, delta extension, or
+	// a full rebuild.
+	PhasePlan
+	// PhaseSample is the neighbor-sampling rounds (par.SampleUnite).
+	PhaseSample
+	// PhaseVote is the majority vote plus the skip-ratio probe
+	// (par.MajorityRoot / par.EstimateSkip).
+	PhaseVote
+	// PhaseSkip is the finish pass over the CSR (par.SkipUnite).
+	PhaseSkip
+	// PhaseCompress is forest flattening (par.Compress), wherever it runs.
+	PhaseCompress
+	// PhaseCount is component counting (root count or label dedup).
+	PhaseCount
+	// PhaseSolve is the whole kernel of an algorithm the tracer does not
+	// decompose further (cas, union-find, bfs, ltz, sv, ...).
+	PhaseSolve
+	// PhaseReduce is FLS Stage 1 (REDUCE).
+	PhaseReduce
+	// PhasePresample is the H1/H2 pre-sampling pass.
+	PhasePresample
+	// PhaseInterweave is the INTERWEAVE phase loop (all phases pooled).
+	PhaseInterweave
+	// PhaseIncrease is the known-gap pipeline's Stage 2 (INCREASE).
+	PhaseIncrease
+	// PhaseSampleSolve is the known-gap pipeline's Stage 3 (SAMPLESOLVE).
+	PhaseSampleSolve
+	// PhaseFinish is the FLS flatten/backstop completion.
+	PhaseFinish
+	// PhaseUnite is the incremental insert path (par.UniteBatch).
+	PhaseUnite
+	// PhaseExtract is the deletion path's sweep + dirty-subgraph
+	// extraction (filter, vertex gather, graph.InducedInto).
+	PhaseExtract
+	// PhaseScoped is the scoped re-solve of the dirty subgraph.
+	PhaseScoped
+	// PhaseSplice is splicing scoped labels back into the live forest.
+	PhaseSplice
+
+	// NumPhases bounds the enum; keep it last.
+	NumPhases
+)
+
+var phaseNames = [NumPhases]string{
+	"validate", "plan", "sample", "vote", "skip", "compress", "count",
+	"solve", "reduce", "presample", "interweave", "increase",
+	"sample-solve", "finish", "unite", "extract", "scoped", "splice",
+}
+
+// String returns the phase's stable external name.
+func (p Phase) String() string {
+	if int(p) < len(phaseNames) {
+		return phaseNames[p]
+	}
+	return "unknown"
+}
+
+// Counter identifies one named monotonic counter.
+type Counter uint8
+
+// Recorder counters.
+const (
+	// CtrCASAttempts counts Unite calls issued by the kernels (an edge
+	// that survived every skip test).
+	CtrCASAttempts Counter = iota
+	// CtrCASHooks counts Unite calls that actually merged two sets.
+	CtrCASHooks
+	// CtrFLSPhases counts INTERWEAVE phases executed.
+	CtrFLSPhases
+	// CtrLTZRounds counts EXPAND-MAXLINK rounds executed.
+	CtrLTZRounds
+	// CtrBatchEdges counts edges in the incremental batch applied.
+	CtrBatchEdges
+	// CtrDirtyComponents counts components a deletion batch dirtied.
+	CtrDirtyComponents
+	// CtrScopedVertices counts vertices of the re-solved dirty subgraph.
+	CtrScopedVertices
+	// CtrScopedEdges counts edges of the re-solved dirty subgraph.
+	CtrScopedEdges
+
+	// NumCounters bounds the enum; keep it last.
+	NumCounters
+)
+
+var counterNames = [NumCounters]string{
+	"cas_attempts", "cas_hooks", "fls_phases", "ltz_rounds",
+	"batch_edges", "dirty_components", "scoped_vertices", "scoped_edges",
+}
+
+// String returns the counter's stable external name.
+func (c Counter) String() string {
+	if int(c) < len(counterNames) {
+		return counterNames[c]
+	}
+	return "unknown"
+}
+
+// Gauge identifies one last-write-wins value.
+type Gauge uint8
+
+// Recorder gauges.  Ratios are stored in parts-per-million so the whole
+// Recorder stays int64/atomic (Trace converts back to float64).
+const (
+	// GaugeSkipEstPPM is the probed skip-ratio estimate (ppm).
+	GaugeSkipEstPPM Gauge = iota
+	// GaugeCoverPPM is the sampled majority coverage (ppm).
+	GaugeCoverPPM
+	// GaugeMajorityMode is 1 when the skip pass ran in majority mode.
+	GaugeMajorityMode
+
+	// NumGauges bounds the enum; keep it last.
+	NumGauges
+)
+
+// Recorder accumulates phase timings, counters, and gauges for one traced
+// operation.  The zero value is ready; the nil value is "tracing off" —
+// every method no-ops on a nil receiver (see the package comment for the
+// contract).
+type Recorder struct {
+	phase [NumPhases]atomic.Int64 // accumulated nanoseconds
+	count [NumCounters]atomic.Int64
+	gauge [NumGauges]atomic.Int64
+}
+
+// NewRecorder returns an empty Recorder.
+func NewRecorder() *Recorder { return &Recorder{} }
+
+// epoch anchors the monotonic clock; Begin/Lap/End exchange nanoseconds
+// relative to it.  time.Since reads the monotonic clock, so spans are
+// immune to wall-clock steps.
+var epoch = time.Now()
+
+// Begin returns a monotonic timestamp for a span start (0 on nil: the
+// value is only ever handed back to Lap/End, which no-op then too).
+func (r *Recorder) Begin() int64 {
+	if r == nil {
+		return 0
+	}
+	return int64(time.Since(epoch))
+}
+
+// End accrues the span from `since` (a Begin/Lap result) to now onto ph.
+func (r *Recorder) End(ph Phase, since int64) {
+	if r == nil {
+		return
+	}
+	r.phase[ph].Add(int64(time.Since(epoch)) - since)
+}
+
+// Lap is End followed by Begin in one clock read: it accrues the span
+// since `since` onto ph and returns the new span start — the shape of
+// back-to-back stage instrumentation.
+func (r *Recorder) Lap(ph Phase, since int64) int64 {
+	if r == nil {
+		return 0
+	}
+	now := int64(time.Since(epoch))
+	r.phase[ph].Add(now - since)
+	return now
+}
+
+// AddPhase accrues an externally measured duration onto ph — for spans
+// measured before the Recorder was reset (e.g. validation ahead of the
+// session lock).
+func (r *Recorder) AddPhase(ph Phase, d time.Duration) {
+	if r == nil || d == 0 {
+		return
+	}
+	r.phase[ph].Add(int64(d))
+}
+
+// PhaseNanos returns the time accrued on ph (0 on nil).
+func (r *Recorder) PhaseNanos(ph Phase) time.Duration {
+	if r == nil {
+		return 0
+	}
+	return time.Duration(r.phase[ph].Load())
+}
+
+// Add accrues d onto counter c.
+func (r *Recorder) Add(c Counter, d int64) {
+	if r == nil || d == 0 {
+		return
+	}
+	r.count[c].Add(d)
+}
+
+// Count returns counter c (0 on nil).
+func (r *Recorder) Count(c Counter) int64 {
+	if r == nil {
+		return 0
+	}
+	return r.count[c].Load()
+}
+
+// Set stores v into gauge g (last write wins).
+func (r *Recorder) Set(g Gauge, v int64) {
+	if r == nil {
+		return
+	}
+	r.gauge[g].Store(v)
+}
+
+// Gauge returns gauge g (0 on nil).
+func (r *Recorder) Gauge(g Gauge) int64 {
+	if r == nil {
+		return 0
+	}
+	return r.gauge[g].Load()
+}
+
+// Reset zeroes every phase, counter, and gauge — called at the start of
+// each traced operation.  Safe on nil.
+func (r *Recorder) Reset() {
+	if r == nil {
+		return
+	}
+	for i := range r.phase {
+		r.phase[i].Store(0)
+	}
+	for i := range r.count {
+		r.count[i].Store(0)
+	}
+	for i := range r.gauge {
+		r.gauge[i].Store(0)
+	}
+}
+
+// PPM converts a ratio in [0,1] to the parts-per-million integer the
+// gauges store; FromPPM inverts it.
+func PPM(x float64) int64 { return int64(x * 1e6) }
+
+// FromPPM converts a parts-per-million gauge value back to a ratio.
+func FromPPM(v int64) float64 { return float64(v) / 1e6 }

@@ -58,8 +58,15 @@ const sampleWindow = 16
 // choice of sampled neighbors never affects the final partition a
 // subsequent SkipUnite pass converges to — only how much of it is settled
 // early.  O(rounds·n) work.
-func SampleUnite(rt *Runtime, p []int32, csr *graph.CSR, rounds int) {
+//
+// Returns the number of Unite attempts issued and the number that hooked
+// (actually merged two sets).  The counts are kept in per-chunk locals and
+// folded with one atomic add per chunk, so they cost nothing measurable;
+// the tracer turns them into the CAS attempt/hook counters.
+func SampleUnite(rt *Runtime, p []int32, csr *graph.CSR, rounds int) (attempts, hooks int64) {
+	var att, hk atomic.Int64
 	rt.ForChunks(len(p), func(lo, hi int, rng *RNG) {
+		la, lh := int64(0), int64(0)
 		for v := lo; v < hi; v++ {
 			off := csr.Off[v]
 			d := int(csr.Off[v+1] - off)
@@ -69,7 +76,10 @@ func SampleUnite(rt *Runtime, p []int32, csr *graph.CSR, rounds int) {
 			if d <= rounds {
 				for r := 0; r < d; r++ {
 					if u := csr.Nbr[off+int64(r)]; u != int32(v) {
-						Unite(p, int32(v), u)
+						la++
+						if Unite(p, int32(v), u) {
+							lh++
+						}
 					}
 				}
 				continue
@@ -80,11 +90,17 @@ func SampleUnite(rt *Runtime, p []int32, csr *graph.CSR, rounds int) {
 			}
 			for r := 0; r < rounds; r++ {
 				if u := csr.Nbr[off+int64(rng.Intn(w))]; u != int32(v) {
-					Unite(p, int32(v), u)
+					la++
+					if Unite(p, int32(v), u) {
+						lh++
+					}
 				}
 			}
 		}
+		att.Add(la)
+		hk.Add(lh)
 	})
+	return att.Load(), hk.Load()
 }
 
 // MajorityRoot estimates the most frequent root of the flattened forest by
@@ -196,13 +212,14 @@ func EstimateSkip(rt *Runtime, p []int32, edges []graph.Edge, probes int) float6
 // endpoints were already connected (parents only move within a set), and
 // an unequal pair merely falls through to Unite, which re-derives the
 // roots.  Returns the number of Unite attempts (the processed minority;
-// the caller derives the skip ratio).  The final partition equals a plain
-// Unite pass over all edges: component minima, deterministic for any
-// procs and schedule.
-func SkipUnite(rt *Runtime, p []int32, csr *graph.CSR, maj int32) int64 {
-	var processed atomic.Int64
+// the caller derives the skip ratio) and the number that hooked — counted
+// in per-chunk locals, folded with one atomic add per chunk.  The final
+// partition equals a plain Unite pass over all edges: component minima,
+// deterministic for any procs and schedule.
+func SkipUnite(rt *Runtime, p []int32, csr *graph.CSR, maj int32) (attempts, hooks int64) {
+	var processed, hooked atomic.Int64
 	rt.ForRanges(len(p), func(lo, hi int) {
-		local := int64(0)
+		local, lh := int64(0), int64(0)
 		for v := lo; v < hi; v++ {
 			pv := atomic.LoadInt32(&p[v])
 			if pv == maj {
@@ -216,7 +233,9 @@ func SkipUnite(rt *Runtime, p []int32, csr *graph.CSR, maj int32) int64 {
 						continue
 					}
 					local++
-					Unite(p, int32(v), u)
+					if Unite(p, int32(v), u) {
+						lh++
+					}
 				}
 			} else {
 				for i := off; i < end; i++ {
@@ -225,11 +244,14 @@ func SkipUnite(rt *Runtime, p []int32, csr *graph.CSR, maj int32) int64 {
 						continue
 					}
 					local++
-					Unite(p, int32(v), u)
+					if Unite(p, int32(v), u) {
+						lh++
+					}
 				}
 			}
 		}
 		processed.Add(local)
+		hooked.Add(lh)
 	})
-	return processed.Load()
+	return processed.Load(), hooked.Load()
 }

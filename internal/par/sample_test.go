@@ -22,7 +22,7 @@ func samplePipeline(r *Runtime, g *graph.Graph, rounds int, useMajority bool) ([
 	if useMajority && g.N > 0 {
 		maj, _ = MajorityRoot(r, p, 256, nil)
 	}
-	processed := SkipUnite(r, p, csr, maj)
+	processed, _ := SkipUnite(r, p, csr, maj)
 	Compress(r, p)
 	return p, processed
 }
@@ -135,7 +135,7 @@ func TestSampleKernelsEdgeCases(t *testing.T) {
 		t.Fatalf("EstimateSkip(no edges) = %v, want 1 (nothing to process)", est)
 	}
 	g := graph.New(0)
-	if processed := SkipUnite(r, nil, graph.BuildCSR(g), -1); processed != 0 {
+	if processed, hooks := SkipUnite(r, nil, graph.BuildCSR(g), -1); processed != 0 || hooks != 0 {
 		t.Fatalf("SkipUnite(empty) = %d, want 0", processed)
 	}
 }
@@ -148,9 +148,9 @@ func TestSkipUniteProcessesOnlyUnsettled(t *testing.T) {
 	// Nothing sampled, filtered mode: the self-loop falls out of the u > v
 	// filter, the first (0,1) visit unites, the duplicate adjacency entry
 	// is settled by then (sequential procs=1), and (2,3) unites.
-	processed := SkipUnite(r, p, graph.BuildCSR(g), -1)
-	if processed != 2 {
-		t.Fatalf("processed = %d, want 2 (one Unite per component merge)", processed)
+	processed, hooks := SkipUnite(r, p, graph.BuildCSR(g), -1)
+	if processed != 2 || hooks != 2 {
+		t.Fatalf("processed, hooks = %d, %d, want 2, 2 (one Unite per component merge)", processed, hooks)
 	}
 	Compress(r, p)
 	if p[1] != 0 || p[3] != 2 {
@@ -166,7 +166,7 @@ func TestSkipUniteMajorityModeRevisitsBoundary(t *testing.T) {
 	r := New(Procs(1))
 	defer r.Close()
 	p := []int32{0, 0, 2}
-	if processed := SkipUnite(r, p, graph.BuildCSR(g), 0); processed != 1 {
+	if processed, _ := SkipUnite(r, p, graph.BuildCSR(g), 0); processed != 1 {
 		t.Fatalf("processed = %d, want 1 (the boundary edge from vertex 2)", processed)
 	}
 	Compress(r, p)

@@ -6,7 +6,9 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"strconv"
+	"time"
 
 	"parcc"
 )
@@ -21,7 +23,7 @@ import (
 // Error mapping (the typed taxonomy → status codes):
 //
 //	400  *VertexRangeError, *parcc.EdgeRangeError, malformed JSON/params
-//	404  ErrGraphNotFound
+//	404  ErrGraphNotFound, ErrNoTrace
 //	409  ErrGraphExists, *parcc.MissingEdgeError
 //	503  ErrEngineClosed (draining)
 //	500  anything else
@@ -29,15 +31,52 @@ type apiError struct {
 	Error string `json:"error"`
 }
 
-// NewHandler returns the engine's HTTP API.
+// HandlerOptions configures the optional parts of the HTTP surface.
+type HandlerOptions struct {
+	// Pprof mounts net/http/pprof under /debug/pprof/.  Off by default —
+	// the profiling endpoints expose heap contents and should only be
+	// enabled on trusted networks (ccserved -pprof).
+	Pprof bool
+}
+
+// NewHandler returns the engine's HTTP API with the default options
+// (no pprof).
 func NewHandler(e *Engine) http.Handler {
+	return NewHandlerOpts(e, HandlerOptions{})
+}
+
+// NewHandlerOpts returns the engine's HTTP API.
+func NewHandlerOpts(e *Engine, opts HandlerOptions) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
 	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, map[string]any{"graphs": e.Stats()})
+		writeJSON(w, http.StatusOK, map[string]any{
+			"since":          e.Since().UTC().Format(time.RFC3339Nano),
+			"uptime_seconds": e.Uptime().Seconds(),
+			"graphs":         e.Stats(),
+		})
 	})
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		e.WriteMetrics(w)
+	})
+	mux.HandleFunc("GET /graphs/{name}/trace", func(w http.ResponseWriter, r *http.Request) {
+		tr, err := e.Trace(r.PathValue("name"))
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, tr)
+	})
+	if opts.Pprof {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	mux.HandleFunc("GET /graphs", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]any{"graphs": e.Names()})
 	})
@@ -321,7 +360,7 @@ func writeError(w http.ResponseWriter, err error) {
 	)
 	status := http.StatusInternalServerError
 	switch {
-	case errors.Is(err, ErrGraphNotFound):
+	case errors.Is(err, ErrGraphNotFound), errors.Is(err, ErrNoTrace):
 		status = http.StatusNotFound
 	case errors.Is(err, ErrGraphExists), errors.As(err, &me):
 		status = http.StatusConflict

@@ -1,0 +1,213 @@
+package service
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"parcc"
+	"parcc/internal/graph/gen"
+)
+
+// requiredMetrics is the metric-name contract of GET /metrics — the CI
+// smoke step asserts the same list against a live ccserved.
+var requiredMetrics = []string{
+	"parcc_engine_uptime_seconds",
+	"parcc_engine_graphs",
+	"parcc_engine_reads_total",
+	"parcc_engine_writes_total",
+	"parcc_engine_applies_total",
+	"parcc_engine_coalesced_total",
+	"parcc_engine_coalesce_ratio",
+	"parcc_engine_edges",
+	"parcc_engine_queue_depth",
+	"parcc_snapshot_publish_seconds",
+	"parcc_shard_reads_total",
+	"parcc_shard_writes_total",
+	"parcc_shard_edges",
+	"parcc_shard_queue_depth",
+	"parcc_shard_components",
+}
+
+// TestMetricsExposition: /metrics serves the full Prometheus name table
+// (>= 10 metrics, including the snapshot-publish histogram and the
+// coalesce ratio), with per-shard labeled series and histogram plumbing.
+func TestMetricsExposition(t *testing.T) {
+	e, srv := testServer(t)
+	if err := e.Create("g1", gen.Cycle(64)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Connected("g1", 0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.AddEdges("g1", []parcc.Edge{{U: 0, V: 32}}); err != nil {
+		t.Fatal(err)
+	}
+
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /metrics = %d, want 200", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("content type %q, want text/plain exposition", ct)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := string(raw)
+	for _, name := range requiredMetrics {
+		if !strings.Contains(body, "# TYPE "+name+" ") {
+			t.Errorf("/metrics missing metric %q", name)
+		}
+	}
+	for _, line := range []string{
+		"parcc_snapshot_publish_seconds_bucket{le=\"+Inf\"}",
+		"parcc_snapshot_publish_seconds_count",
+		"parcc_shard_reads_total{graph=\"g1\"}",
+	} {
+		if !strings.Contains(body, line) {
+			t.Errorf("/metrics missing sample line %q in:\n%s", line, body)
+		}
+	}
+}
+
+// TestStatsSinceUptime: /stats carries the monotone since timestamp and
+// uptime alongside the per-shard counter table.
+func TestStatsSinceUptime(t *testing.T) {
+	e, srv := testServer(t)
+	if err := e.Create("g1", gen.Path(16)); err != nil {
+		t.Fatal(err)
+	}
+	status, out := doJSON(t, "GET", srv.URL+"/stats", "")
+	if status != http.StatusOK {
+		t.Fatalf("GET /stats = %d", status)
+	}
+	if s, ok := out["since"].(string); !ok || s == "" {
+		t.Errorf("/stats since = %v, want RFC3339 timestamp", out["since"])
+	}
+	if up, ok := out["uptime_seconds"].(float64); !ok || up < 0 {
+		t.Errorf("/stats uptime_seconds = %v, want >= 0", out["uptime_seconds"])
+	}
+	if _, ok := out["graphs"].([]any); !ok {
+		t.Errorf("/stats graphs = %v, want array", out["graphs"])
+	}
+}
+
+// TestTraceEndpoint: /graphs/{name}/trace serves the last solve trace as
+// JSON when the engine's solvers trace, and 404s when they do not or the
+// graph is unknown.
+func TestTraceEndpoint(t *testing.T) {
+	e := New(Options{Solver: &parcc.Options{Trace: true}})
+	srv := httptest.NewServer(NewHandler(e))
+	defer func() { srv.Close(); e.Close() }()
+	if err := e.Create("g1", gen.TwoCycles(64)); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get(srv.URL + "/graphs/g1/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /graphs/g1/trace = %d, want 200", resp.StatusCode)
+	}
+	var tr struct {
+		Op          string `json:"op"`
+		Incremental *struct {
+			BatchEdges int64 `json:"batch_edges"`
+		} `json:"incremental"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&tr); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Op != "attach" || tr.Incremental == nil || tr.Incremental.BatchEdges == 0 {
+		t.Errorf("trace = %+v, want attach trace with batch shape", tr)
+	}
+	if st, _ := doJSON(t, "GET", srv.URL+"/graphs/nope/trace", ""); st != http.StatusNotFound {
+		t.Errorf("unknown graph trace = %d, want 404", st)
+	}
+
+	// Tracing off: the endpoint reports 404 (ErrNoTrace), not an empty doc.
+	off, srvOff := testServer(t)
+	if err := off.Create("g1", gen.Path(8)); err != nil {
+		t.Fatal(err)
+	}
+	if st, _ := doJSON(t, "GET", srvOff.URL+"/graphs/g1/trace", ""); st != http.StatusNotFound {
+		t.Errorf("tracing-off trace = %d, want 404", st)
+	}
+}
+
+// TestPprofGating: the profiling endpoints exist only when
+// HandlerOptions.Pprof is set.
+func TestPprofGating(t *testing.T) {
+	_, srv := testServer(t)
+	if resp, err := http.Get(srv.URL + "/debug/pprof/"); err != nil {
+		t.Fatal(err)
+	} else {
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Errorf("pprof without opt-in = %d, want 404", resp.StatusCode)
+		}
+	}
+	e := New(Options{})
+	srvOn := httptest.NewServer(NewHandlerOpts(e, HandlerOptions{Pprof: true}))
+	defer func() { srvOn.Close(); e.Close() }()
+	if resp, err := http.Get(srvOn.URL + "/debug/pprof/"); err != nil {
+		t.Fatal(err)
+	} else {
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("pprof with opt-in = %d, want 200", resp.StatusCode)
+		}
+	}
+}
+
+// TestMetricsRace drives concurrent /metrics scrapes, stats polls, and
+// trace reads against a mutating writer — the scrape path must be safe
+// against live counter updates (run under -race in CI).
+func TestMetricsRace(t *testing.T) {
+	e := New(Options{Solver: &parcc.Options{Trace: true}})
+	defer e.Close()
+	if err := e.Create("g1", gen.Cycle(256)); err != nil {
+		t.Fatal(err)
+	}
+	const iters = 200
+	var wg sync.WaitGroup
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				e.WriteMetrics(io.Discard)
+				e.Stats()
+				e.Trace("g1")
+				e.Connected("g1", 0, 128)
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < iters; i++ {
+			ed := []parcc.Edge{{U: int32(i % 256), V: int32((i + 7) % 256)}}
+			if err := e.AddEdges("g1", ed); err != nil {
+				t.Error(err)
+				return
+			}
+			if err := e.RemoveEdges("g1", ed); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+}

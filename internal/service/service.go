@@ -25,12 +25,14 @@ package service
 import (
 	"errors"
 	"fmt"
+	"io"
 	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"parcc"
+	"parcc/internal/obs"
 )
 
 // ErrEngineClosed reports a call on an Engine after Close.
@@ -41,6 +43,11 @@ var ErrGraphNotFound = errors.New("service: graph not found")
 
 // ErrGraphExists reports a Create with a name that already has a session.
 var ErrGraphExists = errors.New("service: graph already exists")
+
+// ErrNoTrace reports a trace query against a session that has no recorded
+// trace — either the engine's solvers run with tracing off, or no traced
+// operation has completed yet.
+var ErrNoTrace = errors.New("service: no trace recorded")
 
 // VertexRangeError reports a point query with a vertex outside [0, N).
 type VertexRangeError struct {
@@ -99,11 +106,167 @@ type Engine struct {
 	// registered, and wg.Add never races wg.Wait from a zero counter.
 	// The query/mutation paths never touch it.
 	life sync.RWMutex
+
+	// start anchors the /stats since timestamp and the uptime gauge.  Go's
+	// time.Time carries the monotonic clock, so Uptime is monotone across
+	// wall-clock steps.
+	start time.Time
+	// reg is the engine's metrics registry; publish is the snapshot-publish
+	// latency histogram every shard observes into.  Metric updates are
+	// lock-free atomics on the serving paths; only scrapes take the
+	// registry lock.
+	reg     *obs.Registry
+	publish *obs.Histogram
 }
 
 // New returns an empty engine.  Close releases every session.
 func New(opt Options) *Engine {
-	return &Engine{opt: opt.withDefaults()}
+	e := &Engine{opt: opt.withDefaults(), start: time.Now(), reg: obs.NewRegistry()}
+	e.registerMetrics()
+	return e
+}
+
+// registerMetrics builds the engine's Prometheus surface: engine-wide
+// totals summed over shards at scrape time, derived gauges (coalesce
+// ratio, queue depth), the snapshot-publish latency histogram, and the
+// per-shard labeled series.  The full name table is in
+// docs/ARCHITECTURE.md §8.
+func (e *Engine) registerMetrics() {
+	e.reg.GaugeFunc("parcc_engine_uptime_seconds",
+		"Seconds since the engine started (monotonic clock).",
+		func() float64 { return e.Uptime().Seconds() })
+	e.reg.GaugeFunc("parcc_engine_graphs",
+		"Live sessions currently served.",
+		func() float64 {
+			n := 0
+			e.eachShard(func(*shard) { n++ })
+			return float64(n)
+		})
+	e.reg.Collect("parcc_engine_reads_total",
+		"Point queries served, summed over all sessions.", "counter",
+		func(w io.Writer, name string) {
+			var total uint64
+			e.eachShard(func(sh *shard) { total += sh.reads.Load() })
+			fmt.Fprintf(w, "%s %d\n", name, total)
+		})
+	e.reg.Collect("parcc_engine_writes_total",
+		"Mutations accepted (callers), summed over all sessions.", "counter",
+		func(w io.Writer, name string) {
+			var total uint64
+			e.eachShard(func(sh *shard) { total += sh.writes.Load() })
+			fmt.Fprintf(w, "%s %d\n", name, total)
+		})
+	e.reg.Collect("parcc_engine_applies_total",
+		"Combined batches applied through the incremental path.", "counter",
+		func(w io.Writer, name string) {
+			var total uint64
+			e.eachShard(func(sh *shard) { total += sh.applies.Load() })
+			fmt.Fprintf(w, "%s %d\n", name, total)
+		})
+	e.reg.Collect("parcc_engine_coalesced_total",
+		"Mutations that shared a combined apply with another caller.", "counter",
+		func(w io.Writer, name string) {
+			var total uint64
+			e.eachShard(func(sh *shard) { total += sh.coalesced.Load() })
+			fmt.Fprintf(w, "%s %d\n", name, total)
+		})
+	e.reg.GaugeFunc("parcc_engine_coalesce_ratio",
+		"Fraction of accepted mutations that shared an apply (coalesced/writes).",
+		func() float64 {
+			var coalesced, writes uint64
+			e.eachShard(func(sh *shard) {
+				coalesced += sh.coalesced.Load()
+				writes += sh.writes.Load()
+			})
+			if writes == 0 {
+				return 0
+			}
+			return float64(coalesced) / float64(writes)
+		})
+	e.reg.GaugeFunc("parcc_engine_edges",
+		"Live edges across all sessions.",
+		func() float64 {
+			var total int64
+			e.eachShard(func(sh *shard) { total += sh.edges.Load() })
+			return float64(total)
+		})
+	e.reg.GaugeFunc("parcc_engine_queue_depth",
+		"Mutations queued and not yet applied, summed over all shard queues.",
+		func() float64 {
+			total := 0
+			e.eachShard(func(sh *shard) { total += len(sh.reqs) })
+			return float64(total)
+		})
+	e.publish = e.reg.Histogram("parcc_snapshot_publish_seconds",
+		"Latency of snapshot publishes (the O(n) label copy readers switch to).")
+	e.reg.Collect("parcc_shard_reads_total",
+		"Point queries served, per session.", "counter",
+		e.perShard(func(sh *shard) string { return fmt.Sprintf("%d", sh.reads.Load()) }))
+	e.reg.Collect("parcc_shard_writes_total",
+		"Mutations accepted, per session.", "counter",
+		e.perShard(func(sh *shard) string { return fmt.Sprintf("%d", sh.writes.Load()) }))
+	e.reg.Collect("parcc_shard_edges",
+		"Live edge count, per session.", "gauge",
+		e.perShard(func(sh *shard) string { return fmt.Sprintf("%d", sh.edges.Load()) }))
+	e.reg.Collect("parcc_shard_queue_depth",
+		"Queued mutations, per session.", "gauge",
+		e.perShard(func(sh *shard) string { return fmt.Sprintf("%d", len(sh.reqs)) }))
+	e.reg.Collect("parcc_shard_components",
+		"Components in the published snapshot, per session.", "gauge",
+		e.perShard(func(sh *shard) string {
+			if sn := sh.s.ReadView(); sn != nil {
+				return fmt.Sprintf("%d", sn.NumComponents())
+			}
+			return "0"
+		}))
+}
+
+// eachShard visits every live shard (unordered).
+func (e *Engine) eachShard(fn func(sh *shard)) {
+	e.shards.Range(func(_, v any) bool {
+		fn(v.(*shard))
+		return true
+	})
+}
+
+// perShard adapts a per-shard value function into a Collect callback that
+// emits one labeled sample line per session, sorted by name so scrapes
+// are deterministic.
+func (e *Engine) perShard(value func(sh *shard) string) func(io.Writer, string) {
+	return func(w io.Writer, name string) {
+		var shs []*shard
+		e.eachShard(func(sh *shard) { shs = append(shs, sh) })
+		sort.Slice(shs, func(i, j int) bool { return shs[i].name < shs[j].name })
+		for _, sh := range shs {
+			fmt.Fprintf(w, "%s{graph=\"%s\"} %s\n", name, obs.EscapeLabel(sh.name), value(sh))
+		}
+	}
+}
+
+// WriteMetrics renders the engine's metrics in the Prometheus text
+// exposition format — the body of GET /metrics.
+func (e *Engine) WriteMetrics(w io.Writer) { e.reg.WritePrometheus(w) }
+
+// Since returns the engine's start time.
+func (e *Engine) Since() time.Time { return e.start }
+
+// Uptime returns how long the engine has been up, on the monotonic clock.
+func (e *Engine) Uptime() time.Duration { return time.Since(e.start) }
+
+// Trace returns the named session's most recent operation trace — the
+// body of GET /graphs/{name}/trace.  Errors: ErrGraphNotFound, or
+// ErrNoTrace when the session's solver runs with tracing off or has not
+// completed a traced operation yet.
+func (e *Engine) Trace(name string) (*parcc.Trace, error) {
+	sh, err := e.lookup(name)
+	if err != nil {
+		return nil, err
+	}
+	tr := sh.s.LastTrace()
+	if tr == nil {
+		return nil, fmt.Errorf("%w: %q", ErrNoTrace, name)
+	}
+	return tr, nil
 }
 
 // mutation is one queued write: a batch plus the channel its caller waits
@@ -119,11 +282,12 @@ type mutation struct {
 // queue, and the serving counters.  Exactly one writer goroutine consumes
 // reqs; any number of readers answer from the solver's published snapshot.
 type shard struct {
-	name string
-	n    int // vertex count, fixed at Create
-	s    *parcc.Solver
-	reqs chan *mutation
-	done chan struct{} // closed when the writer has drained and exited
+	name    string
+	n       int // vertex count, fixed at Create
+	s       *parcc.Solver
+	reqs    chan *mutation
+	done    chan struct{}  // closed when the writer has drained and exited
+	publish *obs.Histogram // engine-wide snapshot-publish latency
 
 	// state guards the closing flag against enqueuers: senders hold the
 	// read side across the channel send, Drop/Close take the write side
@@ -162,16 +326,19 @@ func (e *Engine) Create(name string, g *parcc.Graph) error {
 		s.Close()
 		return err
 	}
+	t0 := time.Now()
 	if _, err := s.PublishSnapshot(); err != nil {
 		s.Close()
 		return err
 	}
+	e.publish.Observe(time.Since(t0))
 	sh := &shard{
-		name: name,
-		n:    g.N,
-		s:    s,
-		reqs: make(chan *mutation, e.opt.QueueDepth),
-		done: make(chan struct{}),
+		name:    name,
+		n:       g.N,
+		s:       s,
+		reqs:    make(chan *mutation, e.opt.QueueDepth),
+		done:    make(chan struct{}),
+		publish: e.publish,
 	}
 	sh.edges.Store(int64(g.M()))
 	if _, raced := e.shards.LoadOrStore(name, sh); raced {
@@ -480,7 +647,9 @@ func (sh *shard) apply(group []*mutation) {
 	if mutated {
 		// Cannot fail: the writer owns the session, which is attached and
 		// not closed until this goroutine exits.
+		t0 := time.Now()
 		sh.s.PublishSnapshot()
+		sh.publish.Observe(time.Since(t0))
 	}
 	for i, m := range group {
 		m.err <- errs[i]

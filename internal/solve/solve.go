@@ -12,6 +12,7 @@ import (
 	"sort"
 
 	"parcc/internal/graph"
+	"parcc/internal/obs"
 	"parcc/internal/par"
 	"parcc/internal/pram"
 	"parcc/internal/prim"
@@ -28,6 +29,12 @@ import (
 type Ctx struct {
 	M *pram.Machine
 	A *par.Arena
+
+	// Rec receives phase spans and counters from the algorithm layers.
+	// Nil means tracing is off — obs.Recorder methods no-op on nil, so the
+	// layers call it unconditionally (the nil-safety contract of
+	// internal/obs).
+	Rec *obs.Recorder
 
 	planFn func(*graph.Graph) *graph.Plan
 	inc    *IncScratch
@@ -64,6 +71,10 @@ func New(m *pram.Machine) *Ctx { return &Ctx{M: m} }
 
 // WithArena installs a scratch arena and returns c.
 func (c *Ctx) WithArena(a *par.Arena) *Ctx { c.A = a; return c }
+
+// WithRecorder installs a trace recorder (nil keeps tracing off) and
+// returns c.
+func (c *Ctx) WithRecorder(r *obs.Recorder) *Ctx { c.Rec = r; return c }
 
 // WithPlanner installs a plan provider (typically a Solver's cache) and
 // returns c.

@@ -208,6 +208,14 @@ type Options struct {
 	Params *core.Params
 	// KnownGapB is the degree target b for FLSKnownGap (default 16).
 	KnownGapB int
+	// Trace enables solve-phase tracing: the session owns an
+	// internal/obs.Recorder, every solve and incremental operation
+	// populates Result.Trace (and Solver.LastTrace) with per-phase wall
+	// times, kernel counters, and dispatch decisions.  Off by default —
+	// the disabled path threads a nil recorder whose methods no-op on one
+	// predictable branch, keeping the warm serving path allocation-free
+	// and its wall time unchanged.
+	Trace bool
 	// TrustGraph promises that graphs handed to this solver are never
 	// mutated in place between solves (appending or removing edges is
 	// still detected — only same-length overwrites of existing edges go
@@ -231,7 +239,9 @@ type Result struct {
 	Steps int64
 	// Work is the charged PRAM work (total operations).
 	Work int64
-	// Phases is the number of INTERWEAVE phases used (FLS only).
+	// Phases is the number of INTERWEAVE phases used (FLS only).  It is a
+	// documented alias of Trace.FLSPhases: always populated, tracing or
+	// not, and equal to the traced value when Options.Trace is set.
 	Phases int
 	// SkipRatio is the fraction of edges the sampling fast path settled
 	// without a Unite — skipped wholesale with their vertex's adjacency
@@ -240,6 +250,9 @@ type Result struct {
 	// unsettled edge between two non-majority vertices is attempted from
 	// both sides).  Algorithm Sample only; a fallback run reports the low
 	// probe estimate that triggered it.  Zero for every other algorithm.
+	// It is a documented alias of Trace.SkipRatio: always populated,
+	// tracing or not, and equal to the traced value when Options.Trace is
+	// set.
 	SkipRatio float64
 	// Algorithm echoes the solver used.  For Options.Algorithm Auto this
 	// is the dispatch decision: the concrete algorithm the plan statistics
@@ -252,6 +265,11 @@ type Result struct {
 	// Breakdown attributes charged cost to stages (FLS and FLSKnownGap):
 	// stage1-reduce, presample, phase-i, finish / stage2-increase, ....
 	Breakdown []StageCost
+	// Trace is the structured observation of this solve: per-phase wall
+	// times, CAS attempt/hook counters, the sampling probes' signals, the
+	// auto dispatcher's decision, and LTZ/FLS round counts.  Nil unless
+	// the run's Options.Trace was set.
+	Trace *Trace
 }
 
 // StageCost is one entry of a per-stage cost breakdown.

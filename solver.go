@@ -5,6 +5,7 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"parcc/internal/baseline"
 	"parcc/internal/core"
@@ -12,6 +13,7 @@ import (
 	"parcc/internal/labeled"
 	"parcc/internal/liutarjan"
 	"parcc/internal/ltz"
+	"parcc/internal/obs"
 	"parcc/internal/par"
 	"parcc/internal/pram"
 	"parcc/internal/prim"
@@ -44,15 +46,22 @@ type Solver struct {
 	seed  uint64  // effective seed (Options.Seed/ZeroSeed resolved)
 	procs int
 
-	mu     sync.Mutex
-	m      *pram.Machine
-	rt     *par.Runtime // concurrent-backend pool (nil otherwise)
-	casRT  *par.Runtime // lazy pool for CASUnite and the incremental kernels
-	arena  *par.Arena
-	cx     *solve.Ctx  // persistent solve context (machine+arena+plan cache)
-	plan   *graph.Plan // single-slot plan cache (most recent graph)
-	inc    *incSession // live incremental session (nil until Attach)
-	closed bool
+	// rec is the session's trace recorder: non-nil exactly when
+	// Options.Trace is set, immutable after NewSolver (so the pre-lock
+	// validation timing may read it without s.mu).  Nil threads through
+	// cx.Rec as the no-op tracing-off state.
+	rec *obs.Recorder
+
+	mu        sync.Mutex
+	m         *pram.Machine
+	rt        *par.Runtime // concurrent-backend pool (nil otherwise)
+	casRT     *par.Runtime // lazy pool for CASUnite and the incremental kernels
+	arena     *par.Arena
+	cx        *solve.Ctx  // persistent solve context (machine+arena+plan cache)
+	plan      *graph.Plan // single-slot plan cache (most recent graph)
+	inc       *incSession // live incremental session (nil until Attach)
+	lastTrace *Trace      // most recent traced operation (tracing on only)
+	closed    bool
 
 	// snap is the published read view (see PublishSnapshot/ReadView):
 	// written under mu, loaded lock-free by any number of readers.
@@ -110,8 +119,11 @@ func NewSolver(opt *Options) (*Solver, error) {
 		return nil, fmt.Errorf("parcc: unknown backend %q", o.Backend)
 	}
 	s.procs = procs
+	if o.Trace {
+		s.rec = obs.NewRecorder()
+	}
 	s.m = pram.New(mopts...)
-	s.cx = solve.New(s.m).WithArena(s.arena).WithPlanner(s.planFor)
+	s.cx = solve.New(s.m).WithArena(s.arena).WithPlanner(s.planFor).WithRecorder(s.rec)
 	return s, nil
 }
 
@@ -148,9 +160,17 @@ func (s *Solver) SolveInto(g *Graph, res *Result) error {
 	if g == nil {
 		return ErrNilGraph
 	}
+	// s.rec is immutable after NewSolver, so the pre-lock validation may
+	// read it: with tracing on, the O(m) Validate sweep is timed here and
+	// accrued after the recorder reset below.
+	var start time.Time
+	if s.rec != nil {
+		start = time.Now()
+	}
 	if err := g.Validate(); err != nil {
 		return fmt.Errorf("parcc: %w", err)
 	}
+	validated := time.Now()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
@@ -160,6 +180,11 @@ func (s *Solver) SolveInto(g *Graph, res *Result) error {
 	m := s.m
 	m.Reset()
 	cx := s.cx
+	rec := s.rec
+	rec.Reset()
+	if rec != nil {
+		rec.AddPhase(obs.PhaseValidate, validated.Sub(start))
+	}
 
 	params := core.Default(g.N)
 	if o.Params != nil {
@@ -168,14 +193,21 @@ func (s *Solver) SolveInto(g *Graph, res *Result) error {
 	params.Seed ^= s.seed
 
 	algo := o.Algorithm
+	var rule string
+	var autoMaxDeg int
 	if algo == Auto {
-		algo = s.chooseAuto(g)
+		// The decision may build or revalidate the plan — charge that to
+		// the plan phase.
+		tp := rec.Begin()
+		algo, rule, autoMaxDeg = s.chooseAuto(g)
+		rec.End(obs.PhasePlan, tp)
 	}
 	dst := res.Labels
 	*res = Result{
 		Algorithm: algo, Backend: o.Backend, Procs: s.procs,
 		Breakdown: res.Breakdown[:0],
 	}
+	solveSpan := rec.Begin()
 	switch algo {
 	case FLS:
 		r := core.ConnectivityOn(cx, g, params, dst)
@@ -224,11 +256,38 @@ func (s *Solver) SolveInto(g *Graph, res *Result) error {
 	default:
 		return fmt.Errorf("parcc: unknown algorithm %q", o.Algorithm)
 	}
+	switch algo {
+	case FLS, FLSKnownGap, Sample:
+		// Decomposed internally: core/solveSample recorded their own spans.
+	default:
+		rec.End(obs.PhaseSolve, solveSpan)
+	}
 	if res.NumComponents == 0 {
+		tc := rec.Begin()
 		res.NumComponents = solve.NumLabels(cx, res.Labels, g.N)
+		rec.End(obs.PhaseCount, tc)
+	}
+	if algo == CASUnite {
+		// The CAS union-find attempts every edge once; the hooks that
+		// merged are exactly the spanning-forest edges.
+		rec.Add(obs.CtrCASAttempts, int64(g.M()))
+		rec.Add(obs.CtrCASHooks, int64(g.N-res.NumComponents))
 	}
 	res.Steps = m.Steps()
 	res.Work = m.Work()
+	if rec != nil {
+		tr := traceFromRecorder(rec, "solve", algo, time.Since(start))
+		tr.SkipRatio = res.SkipRatio
+		if o.Algorithm == Auto {
+			tr.Dispatch = &DispatchDecision{
+				Chosen: algo, Rule: rule,
+				N: g.N, M: g.M(), AvgDeg: 2 * float64(g.M()) / float64(max(g.N, 1)),
+				MaxDeg: autoMaxDeg,
+			}
+		}
+		res.Trace = tr
+		s.lastTrace = tr
+	}
 	return nil
 }
 
@@ -377,22 +436,28 @@ var sampleFallbackSkip = 0.2
 // warm re-decision in that band revalidates the cached plan's fingerprint
 // (O(m)), the same cost every plan consumer pays.  The decision table is
 // documented in docs/ARCHITECTURE.md.  Callers hold s.mu.
-func (s *Solver) chooseAuto(g *Graph) Algorithm {
+//
+// Alongside the decision it reports the decision-table row that fired
+// ("tiny", "dense", "skewed", "sparse") and the plan's max degree when the
+// inconclusive band consulted it (0 otherwise) — the inputs Trace.Dispatch
+// records.
+func (s *Solver) chooseAuto(g *Graph) (Algorithm, string, int) {
 	n, m := g.N, g.M()
 	if n+m <= autoTinyCutoff {
-		return UnionFind
+		return UnionFind, "tiny", 0
 	}
 	avg := 2 * float64(m) / float64(n)
 	if avg >= autoSampleAvgDeg {
-		return Sample
+		return Sample, "dense", 0
 	}
 	if avg >= autoSampleSkewDeg {
-		if plan := s.planFor(g); float64(plan.MaxDeg) >= autoSampleMaxDeg &&
-			plan.AvgDeg() >= autoSampleSkewDeg {
-			return Sample
+		plan := s.planFor(g)
+		if float64(plan.MaxDeg) >= autoSampleMaxDeg && plan.AvgDeg() >= autoSampleSkewDeg {
+			return Sample, "skewed", int(plan.MaxDeg)
 		}
+		return CASUnite, "sparse", int(plan.MaxDeg)
 	}
-	return CASUnite
+	return CASUnite, "sparse", 0
 }
 
 // solveSample is the Afforest-style sampling solve: sample → flatten →
@@ -404,8 +469,11 @@ func (s *Solver) chooseAuto(g *Graph) Algorithm {
 // the pipeline's own charges on top, so Steps/Work honestly reflect the
 // wasted gamble.  Callers hold s.mu.
 func (s *Solver) solveSample(g *Graph, params core.Params, dst []int32) ([]int32, float64, *core.Result) {
+	rec := s.cx.Rec
+	span := rec.Begin()
 	e := s.casExec()
 	plan := s.planFor(g)
+	span = rec.Lap(obs.PhasePlan, span)
 	n := g.N
 	p := dst
 	if cap(p) < n {
@@ -419,20 +487,28 @@ func (s *Solver) solveSample(g *Graph, params core.Params, dst []int32) ([]int32
 	defer s.cx.Release32(probeBuf)
 	s.m.Contract(prim.Log2Ceil(n+2)+1, int64((sampleRounds+1)*n+2*sampleProbes), func() {
 		e.Run(n, func(v int) { p[v] = int32(v) })
-		par.SampleUnite(e, p, plan.CSR, sampleRounds)
+		att, hk := par.SampleUnite(e, p, plan.CSR, sampleRounds)
+		rec.Add(obs.CtrCASAttempts, att)
+		rec.Add(obs.CtrCASHooks, hk)
+		span = rec.Lap(obs.PhaseSample, span)
 		par.Compress(e, p)
+		span = rec.Lap(obs.PhaseCompress, span)
 		root, cover := par.MajorityRoot(e, p, sampleProbes, probeBuf)
+		rec.Set(obs.GaugeCoverPPM, obs.PPM(cover))
 		if cover >= sampleMajorityCover {
 			// A dominant component: the finish pass skips its vertices'
 			// adjacency ranges wholesale (the pure Afforest signal — no
 			// need to probe edges).
 			maj, est = root, 1
+			rec.Set(obs.GaugeMajorityMode, 1)
 		} else {
 			// No single majority — probe sampled edges directly, which
 			// keeps multi-community graphs (every block settled, none
 			// dominant) on the fast path, in direction-filtered mode.
 			est = par.EstimateSkip(e, p, g.Edges, sampleProbes)
 		}
+		rec.Set(obs.GaugeSkipEstPPM, obs.PPM(est))
+		span = rec.Lap(obs.PhaseVote, span)
 	})
 	if est < sampleFallbackSkip {
 		r := core.ConnectivityOn(s.cx, g, params, p)
@@ -441,8 +517,14 @@ func (s *Solver) solveSample(g *Graph, params core.Params, dst []int32) ([]int32
 
 	var processed int64
 	s.m.Contract(prim.Log2Ceil(n+2)+1, int64(2*g.M()+n), func() {
-		processed = par.SkipUnite(e, p, plan.CSR, maj)
+		span = rec.Begin()
+		var hooks int64
+		processed, hooks = par.SkipUnite(e, p, plan.CSR, maj)
+		rec.Add(obs.CtrCASAttempts, processed)
+		rec.Add(obs.CtrCASHooks, hooks)
+		span = rec.Lap(obs.PhaseSkip, span)
 		par.Compress(e, p)
+		rec.End(obs.PhaseCompress, span)
 	})
 	ratio := 1.0
 	if m := g.M(); m > 0 {
@@ -460,6 +542,8 @@ func (s *Solver) solveSample(g *Graph, params core.Params, dst []int32) ([]int32
 // re-solve of RemoveEdges for large dense inputs.  Returns the labels
 // (component minima) and the exact component count.  Callers hold s.mu.
 func (s *Solver) sampleLabelsInto(e *par.Runtime, g *graph.Graph, csr *graph.CSR, dst []int32) ([]int32, int) {
+	rec := s.cx.Rec
+	span := rec.Begin()
 	n := g.N
 	p := dst
 	if cap(p) < n {
@@ -467,17 +551,30 @@ func (s *Solver) sampleLabelsInto(e *par.Runtime, g *graph.Graph, csr *graph.CSR
 	}
 	p = p[:n]
 	e.Run(n, func(v int) { p[v] = int32(v) })
-	par.SampleUnite(e, p, csr, sampleRounds)
+	att, hk := par.SampleUnite(e, p, csr, sampleRounds)
+	rec.Add(obs.CtrCASAttempts, att)
+	rec.Add(obs.CtrCASHooks, hk)
+	span = rec.Lap(obs.PhaseSample, span)
 	par.Compress(e, p)
+	span = rec.Lap(obs.PhaseCompress, span)
 	maj := int32(-1)
 	probeBuf := s.cx.Grab32(sampleProbes)
-	if root, cover := par.MajorityRoot(e, p, sampleProbes, probeBuf); cover >= sampleMajorityCover {
+	root, cover := par.MajorityRoot(e, p, sampleProbes, probeBuf)
+	rec.Set(obs.GaugeCoverPPM, obs.PPM(cover))
+	if cover >= sampleMajorityCover {
 		maj = root
+		rec.Set(obs.GaugeMajorityMode, 1)
 	}
 	s.cx.Release32(probeBuf)
-	par.SkipUnite(e, p, csr, maj)
+	span = rec.Lap(obs.PhaseVote, span)
+	att, hk = par.SkipUnite(e, p, csr, maj)
+	rec.Add(obs.CtrCASAttempts, att)
+	rec.Add(obs.CtrCASHooks, hk)
+	span = rec.Lap(obs.PhaseSkip, span)
 	par.Compress(e, p)
+	span = rec.Lap(obs.PhaseCompress, span)
 	roots := par.Count(e, n, func(v int) bool { return p[v] == int32(v) })
+	rec.End(obs.PhaseCount, span)
 	return p, int(roots)
 }
 

@@ -1,0 +1,213 @@
+package parcc
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"parcc/internal/obs"
+)
+
+// Trace is the structured observation of one solver operation, populated
+// when Options.Trace is set.  It is the external form of the
+// internal/obs.Recorder the solve paths write into: per-phase wall times
+// with stable names, the kernel counters (CAS attempts vs. successful
+// hooks, FLS phase and LTZ round counts), the sampling fast path's probe
+// signals, the auto dispatcher's decision with the plan statistics that
+// drove it, and — for the live-update path — the batch shape of the
+// incremental operation.
+//
+// A Trace is immutable once returned: Result.Trace and Solver.LastTrace
+// hand out a freshly built value per traced operation, safe to retain and
+// read concurrently with later solves.  With tracing off both are nil and
+// the solve paths allocate nothing for it.
+type Trace struct {
+	// Op identifies the traced operation: "solve", "attach", "add-edges",
+	// or "remove-edges".
+	Op string `json:"op"`
+	// Algorithm is the concrete algorithm that ran ("incremental" for the
+	// live-update operations).
+	Algorithm Algorithm `json:"algorithm"`
+	// Total is the operation's wall time, validation included.
+	Total time.Duration `json:"total_ns"`
+	// Phases lists the per-phase wall times in execution order; phases
+	// that did not run are omitted.  Interleaved stage loops (FLS
+	// INTERWEAVE, the incremental splice) pool all iterations under one
+	// phase name.
+	Phases []TracePhase `json:"phases"`
+	// CASAttempts counts Unite calls the kernels issued (edges that
+	// survived every skip test); CASHooks counts the ones that actually
+	// merged two sets.  The difference is the benign-race retry traffic.
+	CASAttempts int64 `json:"cas_attempts"`
+	CASHooks    int64 `json:"cas_hooks"`
+	// SkipRatio mirrors Result.SkipRatio: the measured fraction of edges
+	// the sampling fast path settled without a Unite.
+	SkipRatio float64 `json:"skip_ratio"`
+	// SkipEstimate is the probe's prediction (the value the FLS-fallback
+	// threshold compared against); SampledCoverage is the majority vote's
+	// coverage estimate; MajorityMode reports whether the skip pass ran in
+	// majority mode (vertex-wholesale skips) or direction-filtered mode.
+	SkipEstimate    float64 `json:"skip_estimate"`
+	SampledCoverage float64 `json:"sampled_coverage"`
+	MajorityMode    bool    `json:"majority_mode"`
+	// FLSPhases mirrors Result.Phases: INTERWEAVE phases executed.
+	FLSPhases int `json:"fls_phases"`
+	// LTZRounds counts EXPAND-MAXLINK rounds across every LTZ invocation
+	// of the operation (interweave Step 3, REMAIN, backstops, ltz proper).
+	LTZRounds int64 `json:"ltz_rounds"`
+	// Dispatch records the auto dispatcher's decision; nil unless the
+	// operation ran with Options.Algorithm Auto.
+	Dispatch *DispatchDecision `json:"dispatch,omitempty"`
+	// Incremental records the batch shape of a live-update operation; nil
+	// for plain solves.
+	Incremental *TraceIncremental `json:"incremental,omitempty"`
+}
+
+// TracePhase is one phase span of a Trace.
+type TracePhase struct {
+	Name string        `json:"name"`
+	Wall time.Duration `json:"wall_ns"`
+}
+
+// DispatchDecision is the auto dispatcher's verdict and its inputs.
+type DispatchDecision struct {
+	// Chosen is the concrete algorithm selected (equals the owning
+	// Result.Algorithm — the golden contract the dispatch tests pin).
+	Chosen Algorithm `json:"chosen"`
+	// Rule names the decision-table row that fired: "tiny" (sequential
+	// union-find), "dense" (sample on average degree alone), "skewed"
+	// (sample on the plan's max-degree refinement), or "sparse" (cas).
+	Rule string `json:"rule"`
+	// N, M, AvgDeg are the O(1) statistics every decision starts from.
+	N      int     `json:"n"`
+	M      int     `json:"m"`
+	AvgDeg float64 `json:"avg_deg"`
+	// MaxDeg is the plan's exact maximum degree — consulted (and nonzero)
+	// only in the inconclusive band between the sparse and dense
+	// thresholds, where the plan is built/validated to refine the call.
+	MaxDeg int `json:"max_deg,omitempty"`
+}
+
+// TraceIncremental is the batch shape of a traced live-update operation.
+type TraceIncremental struct {
+	// BatchEdges is the number of edges in the applied batch.
+	BatchEdges int64 `json:"batch_edges"`
+	// DirtyComponents counts the components a deletion batch touched.
+	DirtyComponents int64 `json:"dirty_components,omitempty"`
+	// ScopedVertices/ScopedEdges size the induced dirty subgraph the
+	// deletion path re-solved.
+	ScopedVertices int64 `json:"scoped_vertices,omitempty"`
+	ScopedEdges    int64 `json:"scoped_edges,omitempty"`
+}
+
+// PhaseSum returns the sum of the phase wall times — with tracing on, the
+// instrumented paths keep it within a few percent of Total (the remainder
+// is lock acquisition and the machine's bookkeeping).  One exception: a
+// "remove-edges" trace's "scoped" span pools the dirty-subgraph re-solve
+// whose own phases are listed alongside it, so summing over such a trace
+// counts that time twice.
+func (t *Trace) PhaseSum() time.Duration {
+	var sum time.Duration
+	for _, ph := range t.Phases {
+		sum += ph.Wall
+	}
+	return sum
+}
+
+// Phase returns the wall time of the named phase (0 when it did not run).
+func (t *Trace) Phase(name string) time.Duration {
+	for _, ph := range t.Phases {
+		if ph.Name == name {
+			return ph.Wall
+		}
+	}
+	return 0
+}
+
+// WriteText pretty-prints the trace as the phase-breakdown table ccrun
+// -trace shows: one line per phase with wall time and share of the total,
+// then the counters and signals that were set.
+func (t *Trace) WriteText(w io.Writer) {
+	fmt.Fprintf(w, "trace: op=%s algorithm=%s total=%v\n", t.Op, t.Algorithm, t.Total)
+	byWall := append([]TracePhase(nil), t.Phases...)
+	sort.SliceStable(byWall, func(i, j int) bool { return byWall[i].Wall > byWall[j].Wall })
+	for _, ph := range byWall {
+		share := 0.0
+		if t.Total > 0 {
+			share = 100 * float64(ph.Wall) / float64(t.Total)
+		}
+		fmt.Fprintf(w, "  %-12s %12v  %5.1f%%\n", ph.Name, ph.Wall, share)
+	}
+	if t.CASAttempts > 0 {
+		fmt.Fprintf(w, "  cas: attempts=%d hooks=%d\n", t.CASAttempts, t.CASHooks)
+	}
+	if t.Algorithm == Sample {
+		fmt.Fprintf(w, "  sample: skip=%.3f estimate=%.3f coverage=%.3f majority=%v\n",
+			t.SkipRatio, t.SkipEstimate, t.SampledCoverage, t.MajorityMode)
+	}
+	if t.FLSPhases > 0 {
+		fmt.Fprintf(w, "  fls: phases=%d\n", t.FLSPhases)
+	}
+	if t.LTZRounds > 0 {
+		fmt.Fprintf(w, "  ltz: rounds=%d\n", t.LTZRounds)
+	}
+	if d := t.Dispatch; d != nil {
+		fmt.Fprintf(w, "  dispatch: %s (rule=%s n=%d m=%d avg-deg=%.2f", d.Chosen, d.Rule, d.N, d.M, d.AvgDeg)
+		if d.MaxDeg > 0 {
+			fmt.Fprintf(w, " max-deg=%d", d.MaxDeg)
+		}
+		fmt.Fprintln(w, ")")
+	}
+	if inc := t.Incremental; inc != nil {
+		fmt.Fprintf(w, "  incremental: batch=%d", inc.BatchEdges)
+		if inc.DirtyComponents > 0 {
+			fmt.Fprintf(w, " dirty=%d scoped=%dv/%de",
+				inc.DirtyComponents, inc.ScopedVertices, inc.ScopedEdges)
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// traceFromRecorder converts the recorder's accumulated state into the
+// external Trace form.  Callers hold s.mu (the recorder is quiescent).
+func traceFromRecorder(rec *obs.Recorder, op string, algo Algorithm, total time.Duration) *Trace {
+	tr := &Trace{Op: op, Algorithm: algo, Total: total}
+	for ph := obs.Phase(0); ph < obs.NumPhases; ph++ {
+		if d := rec.PhaseNanos(ph); d > 0 {
+			tr.Phases = append(tr.Phases, TracePhase{Name: ph.String(), Wall: d})
+		}
+	}
+	tr.CASAttempts = rec.Count(obs.CtrCASAttempts)
+	tr.CASHooks = rec.Count(obs.CtrCASHooks)
+	tr.FLSPhases = int(rec.Count(obs.CtrFLSPhases))
+	tr.LTZRounds = rec.Count(obs.CtrLTZRounds)
+	tr.SkipEstimate = obs.FromPPM(rec.Gauge(obs.GaugeSkipEstPPM))
+	tr.SampledCoverage = obs.FromPPM(rec.Gauge(obs.GaugeCoverPPM))
+	tr.MajorityMode = rec.Gauge(obs.GaugeMajorityMode) != 0
+	return tr
+}
+
+// incTraceFromRecorder adds the batch-shape counters to a traceFromRecorder
+// conversion for the live-update operations.
+func incTraceFromRecorder(rec *obs.Recorder, op string, total time.Duration) *Trace {
+	tr := traceFromRecorder(rec, op, Incremental, total)
+	tr.Incremental = &TraceIncremental{
+		BatchEdges:      rec.Count(obs.CtrBatchEdges),
+		DirtyComponents: rec.Count(obs.CtrDirtyComponents),
+		ScopedVertices:  rec.Count(obs.CtrScopedVertices),
+		ScopedEdges:     rec.Count(obs.CtrScopedEdges),
+	}
+	return tr
+}
+
+// LastTrace returns the Trace of the most recent traced operation on this
+// solver — the last Solve/SolveInto, Attach, AddEdges, or RemoveEdges —
+// or nil when tracing is off (Options.Trace unset) or nothing has run yet.
+// The returned Trace is immutable; the serving layer's per-graph trace
+// endpoint reads it concurrently with later operations.
+func (s *Solver) LastTrace() *Trace {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.lastTrace
+}

@@ -1,0 +1,212 @@
+package parcc_test
+
+import (
+	"strings"
+	"testing"
+
+	"parcc"
+	"parcc/internal/bench"
+	"parcc/internal/graph/gen"
+)
+
+// TestTraceAllocs pins the disabled-Recorder contract: with Options.Trace
+// unset the warm serving path keeps its steady-state allocation counts —
+// bfs stays exactly zero-alloc, the union-find and cas sessions stay at
+// their small fixed costs — on both backends, and Result.Trace stays nil.
+func TestTraceAllocs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("allocation counting is slow-ish")
+	}
+	g := gen.GNM(1<<12, 1<<13, 3)
+	for _, be := range []parcc.Backend{parcc.BackendSequential, parcc.BackendConcurrent} {
+		for _, tc := range []struct {
+			algo parcc.Algorithm
+			max  float64 // allowed warm allocations per solve
+		}{
+			{parcc.BFS, 0},
+			{parcc.UnionFind, 1},
+			{parcc.CASUnite, 3},
+		} {
+			s, err := parcc.NewSolver(&parcc.Options{Algorithm: tc.algo, Backend: be, Procs: 2, Seed: 3})
+			if err != nil {
+				t.Fatal(err)
+			}
+			res := &parcc.Result{}
+			for i := 0; i < 2; i++ { // warm the arena and plan cache
+				if err := s.SolveInto(g, res); err != nil {
+					t.Fatal(err)
+				}
+			}
+			warm := testing.AllocsPerRun(5, func() {
+				if err := s.SolveInto(g, res); err != nil {
+					t.Fatal(err)
+				}
+			})
+			if warm > tc.max {
+				t.Errorf("%s/%s: tracing-off warm solve allocates %.0f/run, want <= %.0f",
+					be, tc.algo, warm, tc.max)
+			}
+			if res.Trace != nil {
+				t.Errorf("%s/%s: Result.Trace must stay nil with tracing off", be, tc.algo)
+			}
+			s.Close()
+		}
+	}
+}
+
+// TestTraceAutoDispatchGolden is the dispatch golden test: across all
+// twenty generator families, the decision the Trace records must match
+// the algorithm the Result reports, on both backends.
+func TestTraceAutoDispatchGolden(t *testing.T) {
+	for _, be := range []parcc.Backend{parcc.BackendSequential, parcc.BackendConcurrent} {
+		s, err := parcc.NewSolver(&parcc.Options{
+			Algorithm: parcc.Auto, Backend: be, Procs: 2, Seed: 3, Trace: true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res := &parcc.Result{}
+		for _, f := range bench.Families(1<<12, 1) {
+			if err := s.SolveInto(f.Make(), res); err != nil {
+				t.Fatalf("%s/%s: %v", be, f.Name, err)
+			}
+			tr := res.Trace
+			if tr == nil || tr.Dispatch == nil {
+				t.Fatalf("%s/%s: auto solve with tracing must record a dispatch decision", be, f.Name)
+			}
+			if tr.Dispatch.Chosen != res.Algorithm {
+				t.Errorf("%s/%s: trace dispatch chose %q but Result.Algorithm is %q (rule %q)",
+					be, f.Name, tr.Dispatch.Chosen, res.Algorithm, tr.Dispatch.Rule)
+			}
+			switch tr.Dispatch.Rule {
+			case "tiny", "dense", "skewed", "sparse":
+			default:
+				t.Errorf("%s/%s: unknown dispatch rule %q", be, f.Name, tr.Dispatch.Rule)
+			}
+			if last := s.LastTrace(); last != tr {
+				t.Errorf("%s/%s: LastTrace must return the trace of the latest solve", be, f.Name)
+			}
+		}
+		s.Close()
+	}
+}
+
+// TestTracePhaseSum is the acceptance bound on span coverage: with
+// tracing on, the per-phase wall times of a solve on the complete and
+// block families must sum to within 20%% of the recorded total (best of a
+// few attempts, to shrug off scheduler noise).
+func TestTracePhaseSum(t *testing.T) {
+	for _, f := range bench.Families(1<<14, 1) {
+		if f.Name != "complete" && f.Name != "block" {
+			continue
+		}
+		g := f.Make()
+		s, err := parcc.NewSolver(&parcc.Options{
+			Algorithm: parcc.Auto, Backend: parcc.BackendConcurrent, Trace: true, TrustGraph: true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res := &parcc.Result{}
+		best := 0.0
+		for attempt := 0; attempt < 4; attempt++ {
+			if err := s.SolveInto(g, res); err != nil {
+				t.Fatal(err)
+			}
+			tr := res.Trace
+			if tr == nil || tr.Total <= 0 {
+				t.Fatalf("%s: traced solve must record a positive total", f.Name)
+			}
+			if cover := float64(tr.PhaseSum()) / float64(tr.Total); cover > best {
+				best = cover
+			}
+			if best >= 0.8 {
+				break
+			}
+		}
+		if best < 0.8 {
+			t.Errorf("%s: phase wall times cover %.0f%% of the total, want >= 80%%", f.Name, 100*best)
+		}
+		s.Close()
+	}
+}
+
+// TestTraceIncrementalOps: the live-update operations each leave a trace
+// with the right op name and batch-shape counters.
+func TestTraceIncrementalOps(t *testing.T) {
+	s, err := parcc.NewSolver(&parcc.Options{Trace: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	g := gen.TwoCycles(64)
+	if err := s.Attach(g); err != nil {
+		t.Fatal(err)
+	}
+	tr := s.LastTrace()
+	if tr == nil || tr.Op != "attach" || tr.Incremental == nil {
+		t.Fatalf("attach trace = %+v, want op=attach with incremental shape", tr)
+	}
+	if tr.Incremental.BatchEdges != int64(g.M()) {
+		t.Errorf("attach batch edges = %d, want %d", tr.Incremental.BatchEdges, g.M())
+	}
+	bridge := []parcc.Edge{{U: 0, V: 40}}
+	if err := s.AddEdges(bridge); err != nil {
+		t.Fatal(err)
+	}
+	tr = s.LastTrace()
+	if tr == nil || tr.Op != "add-edges" || tr.Incremental == nil || tr.Incremental.BatchEdges != 1 {
+		t.Fatalf("add-edges trace = %+v, want op=add-edges batch=1", tr)
+	}
+	if err := s.RemoveEdges(bridge); err != nil {
+		t.Fatal(err)
+	}
+	tr = s.LastTrace()
+	if tr == nil || tr.Op != "remove-edges" || tr.Incremental == nil {
+		t.Fatalf("remove-edges trace = %+v, want op=remove-edges with incremental shape", tr)
+	}
+	if tr.Incremental.DirtyComponents < 1 {
+		t.Errorf("removing a bridge must dirty at least one component, got %d", tr.Incremental.DirtyComponents)
+	}
+	var sb strings.Builder
+	tr.WriteText(&sb)
+	if !strings.Contains(sb.String(), "op=remove-edges") || !strings.Contains(sb.String(), "incremental:") {
+		t.Errorf("WriteText output missing expected lines:\n%s", sb.String())
+	}
+}
+
+// TestTraceAliases: Result.SkipRatio and Result.Phases stay populated
+// with tracing off and mirror the Trace fields with tracing on.
+func TestTraceAliases(t *testing.T) {
+	g := gen.GNM(1<<12, 1<<16, 7) // dense: auto dispatches to sample
+	off, err := parcc.ConnectedComponents(g, &parcc.Options{Algorithm: parcc.Sample, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if off.Trace != nil {
+		t.Fatal("tracing off must leave Result.Trace nil")
+	}
+	on, err := parcc.ConnectedComponents(g, &parcc.Options{Algorithm: parcc.Sample, Seed: 3, Trace: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if on.Trace == nil {
+		t.Fatal("tracing on must populate Result.Trace")
+	}
+	if on.Trace.SkipRatio != on.SkipRatio {
+		t.Errorf("Trace.SkipRatio %v != Result.SkipRatio %v", on.Trace.SkipRatio, on.SkipRatio)
+	}
+	if on.Trace.FLSPhases != on.Phases {
+		t.Errorf("Trace.FLSPhases %d != Result.Phases %d", on.Trace.FLSPhases, on.Phases)
+	}
+	if off.SkipRatio != on.SkipRatio {
+		t.Errorf("SkipRatio must not depend on tracing: off %v on %v", off.SkipRatio, on.SkipRatio)
+	}
+	if on.Trace.CASAttempts <= 0 || on.Trace.CASHooks <= 0 {
+		t.Errorf("sample trace must count kernel attempts/hooks, got %d/%d",
+			on.Trace.CASAttempts, on.Trace.CASHooks)
+	}
+	if d := on.Trace.Phase("sample"); d <= 0 {
+		t.Errorf("sample trace must include a sample phase span, got %v", d)
+	}
+}
