@@ -30,7 +30,7 @@ func main() {
 	var (
 		graphFile = flag.String("graph", "", "edge-list file (- for stdin)")
 		genSpec   = flag.String("gen", "", "generator spec, e.g. expander:n=4096,d=8 (families: "+cli.Families()+")")
-		algo      = flag.String("algo", "fls", "algorithm: fls fls-known-gap ltz sv random-mate label-prop liu-tarjan parallel-bfs cas union-find bfs")
+		algo      = flag.String("algo", "fls", "algorithm: fls fls-known-gap ltz sv random-mate label-prop liu-tarjan parallel-bfs cas union-find bfs sample frontier auto")
 		backend   = flag.String("backend", "", "execution backend: sequential | concurrent (default: legacy simulator)")
 		procs     = flag.Int("procs", 0, "parallelism of the concurrent backend (0 = NumCPU)")
 		workers   = flag.Int("workers", 0, "goroutine pool size (0 = NumCPU)")

@@ -72,7 +72,19 @@ func (s *Solver) Attach(g *Graph) error {
 	e := s.casExec()
 	p := make([]int32, g.N)
 	var ncomp int
-	if sampleWorthwhile(g) {
+	if frontierWorthwhile(g) {
+		// Mesh-like attach (low average degree, id-local edges): the
+		// frontier engine's asynchronous min-label propagation pays per
+		// round only for the vertices still active, which on these shapes
+		// shrinks fast — cheaper than a Unite per edge and identical in
+		// output (component minima).  Same engine as the "frontier"
+		// algorithm and the scoped re-solve below: one machinery for cold
+		// solves and incremental repair.
+		span := rec.Begin()
+		plan := s.planFor(g)
+		rec.End(obs.PhasePlan, span)
+		p, ncomp = s.frontierLabelsInto(e, g, plan.CSR, p)
+	} else if sampleWorthwhile(g) {
 		// Large dense attach: the Afforest-style sampling fast path
 		// settles most components from a few sampled neighbors per vertex
 		// and then skips the settled majority of the edge list, instead
@@ -161,6 +173,24 @@ func (s *Solver) AddEdges(batch []Edge) error {
 	rec.End(obs.PhaseUnite, span)
 	rec.Add(obs.CtrCASAttempts, int64(len(batch)))
 	rec.Add(obs.CtrCASHooks, int64(merges))
+	if rec != nil {
+		// Seed the batch's touched endpoints into the session frontier and
+		// record them as the repair's initial frontier — the same round
+		// trace the frontier solves emit, so an insert stream's locality is
+		// observable on one scale.  The flood itself stays with the
+		// union-find above: propagating minima needs adjacency, and
+		// extending the CSR costs O(n+m), which would break this path's
+		// O(|batch|) contract — the union-find absorbs the merge in
+		// O(|batch|·α) without ever looking at a neighbor list.
+		cur, _ := s.frontierPair(n)
+		cur.BeginCollect(true)
+		for _, ed := range batch {
+			cur.Add(ed.U)
+			cur.Add(ed.V)
+		}
+		rec.RecordFrontierRound(cur.Count(), false)
+		cur.Clear()
+	}
 	if merges > 0 {
 		inc.ncomp -= merges
 		// Only a winning hook can leave a chain; failed unites and finds
@@ -282,7 +312,17 @@ func (s *Solver) RemoveEdges(batch []Edge) error {
 	span = rec.Lap(obs.PhaseExtract, span)
 	var subLabels []int32
 	var subComps int
-	if sampleWorthwhile(sc.Sub) {
+	if frontierWorthwhile(sc.Sub) {
+		// Mesh-like dirty region: the induced subgraph is exactly the set
+		// of touched components, so seeding it (in full) into the frontier
+		// engine is the scoped-repair instantiation of the frontier
+		// machinery — per-round work proportional to the part of the
+		// region still unsettled, instead of a full pipeline round over
+		// all of it.  The transient CSR is built uncached, like the
+		// sampling branch's.
+		csr := graph.BuildCSROn(e, sc.Sub)
+		subLabels, subComps = s.frontierLabelsInto(e, sc.Sub, csr, sc.SubLabels)
+	} else if sampleWorthwhile(sc.Sub) {
 		// A large dense dirty region re-labels faster through the
 		// sampling fast path than through the charged FLS pipeline: the
 		// induced subgraph's CSR is built once (uncached — the subgraph

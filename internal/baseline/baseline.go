@@ -359,16 +359,29 @@ func RandomMateCtx(cx *solve.Ctx, g *graph.Graph, seed uint64) *labeled.Forest {
 }
 
 // LabelProp runs synchronous minimum-label propagation until fixpoint:
-// Θ(diameter) rounds, full edge scans per round.  Returns labels directly.
+// Θ(diameter) rounds.  Returns labels directly.
 func LabelProp(m *pram.Machine, g *graph.Graph) []int32 {
 	return LabelPropInto(solve.New(m), g, nil)
 }
 
 // LabelPropInto is LabelProp on a solve context, writing into dst when it
 // has the capacity.
+//
+// The rounds are frontier-driven (par.Frontier): only vertices whose label
+// changed in the previous round push their label across their incident
+// edges, and only vertices whose shadow value actually dropped are
+// committed and re-seeded.  A vertex outside the frontier pushed its
+// (unchanged) label the last time it changed — and labels only decrease —
+// so the skipped pushes are exactly the redundant ones: the label
+// evolution is round-identical to the classic dense formulation (snapshot,
+// relax every edge, commit every vertex), while the charged work per round
+// is Σ deg over the frontier plus the touched-set commit instead of
+// m + n.  lab64 is a persistent shadow of lab (equal at every round
+// boundary), so no per-round snapshot pass runs at all.
 func LabelPropInto(cx *solve.Ctx, g *graph.Graph, dst []int32) []int32 {
 	m := cx.M
 	n := g.N
+	csr := cx.Plan(g).CSR
 	lab := dst
 	if cap(lab) < n {
 		lab = make([]int32, n)
@@ -376,28 +389,44 @@ func LabelPropInto(cx *solve.Ctx, g *graph.Graph, dst []int32) []int32 {
 	lab = lab[:n]
 	m.Iota32(lab)
 	lab64 := cx.Grab64(n)
-	changed := []int32{1}
-	// Hoisted round bodies: the rounds share three closures instead of
-	// allocating three per round.
-	snap := func(v int) { lab64[v] = int64(lab[v]) }
+	m.For(n, func(v int) { lab64[v] = int64(lab[v]) })
+	// The frontier pair stays in full/sparse-list mode throughout so the
+	// machine's per-index loops can address it by position.
+	cur := par.NewFrontier(cx.A, n)
+	touched := par.NewFrontier(cx.A, n)
+	cur.SeedAll()
+	// Hoisted round bodies: the rounds share two closures instead of
+	// allocating two per round.
 	relax := func(i int) {
-		e := g.Edges[i]
-		pram.Min64(lab64, int(e.U), int64(lab[e.V]))
-		pram.Min64(lab64, int(e.V), int64(lab[e.U]))
-	}
-	commit := func(v int) {
-		nv := int32(lab64[v])
-		if nv != lab[v] {
-			lab[v] = nv
-			pram.SetFlag(changed, 0)
+		v := cur.At(i)
+		lv := int64(lab[v])
+		for _, u := range csr.Neighbors(v) {
+			// The pre-check makes membership exact: u is touched iff its
+			// shadow strictly dropped (whoever wins the racing Min64, some
+			// strict lowerer also Adds u; the bitmap dedups).
+			if lv < pram.Load64(lab64, int(u)) {
+				pram.Min64(lab64, int(u), lv)
+				touched.Add(u)
+			}
 		}
 	}
-	for changed[0] != 0 {
-		changed[0] = 0
-		m.For(n, snap)
-		m.For(len(g.Edges), relax)
-		m.For(n, commit)
+	commit := func(i int) {
+		v := touched.At(i)
+		lab[v] = int32(lab64[v])
 	}
+	for cur.Count() > 0 {
+		touched.BeginCollect(true)
+		var relaxWork int64
+		for i, l := 0, cur.Len(); i < l; i++ {
+			relaxWork += int64(csr.Deg(cur.At(i)))
+		}
+		m.ForWork(cur.Len(), relaxWork, relax)
+		m.ForWork(touched.Len(), int64(touched.Len()), commit)
+		cur.Clear()
+		cur, touched = touched, cur
+	}
+	cur.Free(cx.A)
+	touched.Free(cx.A)
 	cx.Release64(lab64)
 	return lab
 }

@@ -10,7 +10,7 @@ type Family struct {
 	Make func() *parcc.Graph
 }
 
-// Families instantiates all twenty generator families at the target
+// Families instantiates all twenty-three generator families at the target
 // vertex count, in sweep order.
 func Families(n int, seed uint64) []Family {
 	fams := solveFamilies(n, seed)

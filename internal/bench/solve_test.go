@@ -6,33 +6,34 @@ import (
 )
 
 // TestSOLVEShapeAndEquivalence: the small-scale SOLVE sweep must cover all
-// twenty families with finite timings and a recorded auto decision per
-// row.  (The experiment itself panics if the three algorithms' partitions
-// ever diverge, so running it at all is the equivalence check; the ≥2×
-// and 1.1× bars bind only at -scale full and are recorded, not asserted,
-// here — small-scale wall clocks are overhead-dominated.)
+// twenty-three families with finite timings and a recorded auto decision
+// per row.  (The experiment itself panics if the four algorithms'
+// partitions ever diverge, so running it at all is the equivalence check;
+// the ≥2×, frontier-wins-hidiam, and 1.1× bars bind only at -scale full
+// and are recorded, not asserted, here — small-scale wall clocks are
+// overhead-dominated.)
 func TestSOLVEShapeAndEquivalence(t *testing.T) {
 	tab := SOLVERawSolves(Config{Scale: Small, Seed: 3})
-	if len(tab.Rows) != 20 {
-		t.Fatalf("rows = %d, want 20 families", len(tab.Rows))
+	if len(tab.Rows) != 23 {
+		t.Fatalf("rows = %d, want 23 families", len(tab.Rows))
 	}
-	picks := map[string]bool{"cas": true, "sample": true, "union-find": true}
+	picks := map[string]bool{"cas": true, "sample": true, "union-find": true, "frontier": true}
 	for _, row := range tab.Rows {
-		for _, col := range []int{3, 4, 5} {
+		for _, col := range []int{3, 4, 5, 6} {
 			ms, err := strconv.ParseFloat(row[col], 64)
 			if err != nil || ms <= 0 {
 				t.Fatalf("%s: wall cell %q not a positive duration", row[0], row[col])
 			}
 		}
-		if !picks[row[6]] {
-			t.Errorf("%s: auto pick %q is not a concrete algorithm", row[0], row[6])
+		if !picks[row[7]] {
+			t.Errorf("%s: auto pick %q is not a concrete algorithm", row[0], row[7])
 		}
-		if skip, err := strconv.ParseFloat(row[7], 64); err != nil || skip < 0 || skip > 100 {
-			t.Errorf("%s: skip%% cell %q outside [0,100]", row[0], row[7])
+		if skip, err := strconv.ParseFloat(row[8], 64); err != nil || skip < 0 || skip > 100 {
+			t.Errorf("%s: skip%% cell %q outside [0,100]", row[0], row[8])
 		}
 	}
-	if len(tab.Notes) < 3 {
-		t.Fatalf("notes = %d, want the two bar verdicts and the method note", len(tab.Notes))
+	if len(tab.Notes) < 4 {
+		t.Fatalf("notes = %d, want the three bar verdicts and the method note", len(tab.Notes))
 	}
 }
 

@@ -86,6 +86,9 @@ func ExtendPlanOn(e Exec, prev *Plan, g *Graph) *Plan {
 		CSR:    &CSR{Off: off, Nbr: nbr},
 		builtM: len(g.Edges),
 		fp:     edgeFold(prev.fp, added),
+		// Resample locality over the full list: the appended batch can
+		// change the statistic, and the sweep is O(localityProbes).
+		loc: EdgeLocality(n, g.Edges),
 	}
 	if n > 0 {
 		mn, mx := int32(1<<30), int32(0)

@@ -119,6 +119,19 @@ const (
 	CtrScopedVertices
 	// CtrScopedEdges counts edges of the re-solved dirty subgraph.
 	CtrScopedEdges
+	// CtrFrontierRounds counts frontier-engine rounds executed (it is also
+	// the write cursor of the per-round occupancy ring — see
+	// RecordFrontierRound).
+	CtrFrontierRounds
+	// CtrFrontierInspected counts adjacency entries the frontier kernels
+	// examined — the direct measure of work ∝ frontier size, against the
+	// dense round structure's rounds × 2m.
+	CtrFrontierInspected
+	// CtrFrontierLowered counts successful label lowerings (CAS wins).
+	CtrFrontierLowered
+	// CtrFrontierSwitches counts dense↔sparse representation switches
+	// between consecutive frontier rounds.
+	CtrFrontierSwitches
 
 	// NumCounters bounds the enum; keep it last.
 	NumCounters
@@ -127,6 +140,8 @@ const (
 var counterNames = [NumCounters]string{
 	"cas_attempts", "cas_hooks", "fls_phases", "ltz_rounds",
 	"batch_edges", "dirty_components", "scoped_vertices", "scoped_edges",
+	"frontier_rounds", "frontier_inspected", "frontier_lowered",
+	"frontier_switches",
 }
 
 // String returns the counter's stable external name.
@@ -162,7 +177,17 @@ type Recorder struct {
 	phase [NumPhases]atomic.Int64 // accumulated nanoseconds
 	count [NumCounters]atomic.Int64
 	gauge [NumGauges]atomic.Int64
+	// rounds holds the per-round frontier occupancy of the traced
+	// operation (see RecordFrontierRound): a fixed array, like everything
+	// else here, so recording stays allocation-free.
+	rounds [MaxFrontierRounds]atomic.Int64
 }
+
+// MaxFrontierRounds bounds the per-round occupancy record.  Operations
+// exceeding it keep counting rounds (CtrFrontierRounds is exact) but only
+// the first MaxFrontierRounds occupancies are retained — high-diameter
+// meshes settle in a handful of rounds, so the cap is generous.
+const MaxFrontierRounds = 64
 
 // NewRecorder returns an empty Recorder.
 func NewRecorder() *Recorder { return &Recorder{} }
@@ -251,8 +276,52 @@ func (r *Recorder) Gauge(g Gauge) int64 {
 	return r.gauge[g].Load()
 }
 
-// Reset zeroes every phase, counter, and gauge — called at the start of
-// each traced operation.  Safe on nil.
+// RecordFrontierRound appends one frontier round to the occupancy record:
+// occ is the round's active-vertex count (≥ 1 — empty frontiers end the
+// engine, they are not rounds), dense whether the round iterated the
+// bitmap representation (false: the sparse compacted list).  The round
+// index comes from CtrFrontierRounds, which this bumps; rounds past
+// MaxFrontierRounds are counted but not retained.  The dense flag is
+// packed into the sign so the slot stays one atomic int64.  Safe on nil.
+func (r *Recorder) RecordFrontierRound(occ int64, dense bool) {
+	if r == nil {
+		return
+	}
+	i := r.count[CtrFrontierRounds].Add(1) - 1
+	if i >= MaxFrontierRounds {
+		return
+	}
+	if !dense {
+		occ = -occ
+	}
+	r.rounds[i].Store(occ)
+}
+
+// FrontierRounds returns the number of retained occupancy entries
+// (min(CtrFrontierRounds, MaxFrontierRounds); 0 on nil).
+func (r *Recorder) FrontierRounds() int {
+	if r == nil {
+		return 0
+	}
+	n := r.count[CtrFrontierRounds].Load()
+	if n > MaxFrontierRounds {
+		n = MaxFrontierRounds
+	}
+	return int(n)
+}
+
+// FrontierRound returns the occupancy and representation of retained
+// round i (callers bound i by FrontierRounds).
+func (r *Recorder) FrontierRound(i int) (occ int64, dense bool) {
+	v := r.rounds[i].Load()
+	if v < 0 {
+		return -v, false
+	}
+	return v, true
+}
+
+// Reset zeroes every phase, counter, gauge, and frontier round — called at
+// the start of each traced operation.  Safe on nil.
 func (r *Recorder) Reset() {
 	if r == nil {
 		return
@@ -265,6 +334,9 @@ func (r *Recorder) Reset() {
 	}
 	for i := range r.gauge {
 		r.gauge[i].Store(0)
+	}
+	for i := range r.rounds {
+		r.rounds[i].Store(0)
 	}
 }
 

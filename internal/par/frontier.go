@@ -1,0 +1,621 @@
+// Frontier is the active-vertex-set machinery of the frontier-driven solve
+// engine: a dual-representation set that switches between a dense bitmap
+// and a sparse compacted list on occupancy, in the direction-optimizing
+// style of Beamer-style BFS and Ligra's vertex_map/edge_map.  The engine
+// built on it (FrontierPropagate, FrontierUnite) does per-round work
+// proportional to the frontier, not to n or m: a round touches exactly the
+// vertices whose labels changed last round, which is what wins the
+// high-diameter mesh regime (grids, tori, paths) where every dense-round
+// algorithm pays rounds × m.
+//
+// Representation contract:
+//
+//   - full: every vertex in [0,n) is active.  No bitmap bits are set and
+//     no list is built — iteration is a plain range scan with no bit
+//     tests, so seeding a cold solve costs nothing.
+//   - dense: activity lives in the bitmap only.  Iteration scans the words
+//     (skipping zero words 64 vertices at a time) and zeroes each word as
+//     it is consumed, so clearing is folded into the scan.
+//   - sparse: adds also append to the compacted list through an atomic
+//     reservation cursor, and iteration walks the list directly — work
+//     exactly |F|, independent of n.
+//
+// The collection mode of the next frontier is chosen before each round
+// from the current occupancy (the predictor direction-optimizing BFS
+// uses); frontierSparseFrac holds the measured threshold.  All storage is
+// arena-backed: a session reuses one Frontier pair across solves, so the
+// warm path allocates nothing (pinned by TestFrontierAllocs).
+//
+// Concurrency: Add is safe from any number of loop-body goroutines (CAS on
+// the bitmap word, atomic cursor reservation for the list); everything
+// else — BeginCollect, Clear, iteration setup — is orchestration, owned by
+// the single goroutine driving the runtime, like the Arena it draws from.
+package par
+
+import (
+	"math/bits"
+	"sync/atomic"
+
+	"parcc/internal/graph"
+)
+
+// frontierSparseFrac is the occupancy divisor of the representation
+// switch: the next frontier is collected sparse when the current one holds
+// at most n/frontierSparseFrac vertices.  Measured on this container with
+// the SOLVE mesh families: the sparse list pays its reservation cursor and
+// random-order iteration back once occupancy drops below a few percent of
+// n, while above it the bitmap's sequential word scan (64 vertices per
+// load, zeroed as consumed) is strictly cheaper.  1/32 ≈ 3% sits safely
+// inside the regime where both choices were within noise.
+const frontierSparseFrac = 32
+
+// Frontier is one active-vertex set.  Construct with NewFrontier; a
+// session keeps a pair and swaps them between rounds.
+type Frontier struct {
+	n     int
+	words []int64 // bitmap, ceil(n/64) words, arena-backed
+	list  []int32 // sparse compaction target, n entries, arena-backed
+	tail  atomic.Int64
+	cnt   atomic.Int64
+	// collect marks sparse collection mode (adds also append to list);
+	// full marks the all-of-[0,n) representation.
+	collect bool
+	full    bool
+}
+
+// NewFrontier returns an empty frontier over [0,n) with arena-backed
+// storage (nil arena degrades to plain allocation, like every arena user).
+// The struct itself is the only allocation a session pays; Resize within
+// the grabbed capacity and all engine rounds allocate nothing.
+func NewFrontier(a *Arena, n int) *Frontier {
+	f := &Frontier{n: n}
+	f.words = a.Grab64((n + 63) / 64)
+	// No zeroing needed: only slots written through the reservation
+	// cursor this round are ever read back.
+	f.list = a.Grab32Cap(n)[:n]
+	return f
+}
+
+// Free returns the frontier's storage to the arena.  The frontier must not
+// be used afterwards.
+func (f *Frontier) Free(a *Arena) {
+	a.Release64(f.words)
+	a.Release32(f.list)
+	f.words, f.list = nil, nil
+}
+
+// Cap reports the vertex capacity Resize can grow to without new storage.
+func (f *Frontier) Cap() int {
+	c := cap(f.list)
+	if w := 64 * cap(f.words); w < c {
+		c = w
+	}
+	return c
+}
+
+// Resize re-views an empty frontier over [0,n); n must be within Cap().
+// Emptiness is the standing invariant between uses (every consumer clears
+// as it iterates), so no storage needs rezeroing.
+func (f *Frontier) Resize(n int) {
+	f.n = n
+	f.words = f.words[:(n+63)/64]
+	f.list = f.list[:n]
+}
+
+// Count returns the number of active vertices.
+func (f *Frontier) Count() int64 { return f.cnt.Load() }
+
+// Sparse reports whether the frontier holds a compacted list (it was
+// collected in sparse mode), making Len/At valid.
+func (f *Frontier) Sparse() bool { return f.collect && !f.full }
+
+// Len returns the indexable length for At: n when full, the list length
+// when sparse, 0 for a bitmap-only frontier (iterate via the engine
+// kernels instead).
+func (f *Frontier) Len() int {
+	if f.full {
+		return f.n
+	}
+	if f.collect {
+		return int(f.tail.Load())
+	}
+	return 0
+}
+
+// At returns the i-th active vertex of a full or sparse frontier
+// (i < Len()).  Sparse order is collection order — deterministic only for
+// single-proc runs; consumers must not depend on it.
+func (f *Frontier) At(i int) int32 {
+	if f.full {
+		return int32(i)
+	}
+	return f.list[i]
+}
+
+// BeginCollect readies an empty frontier to receive Adds: sparse selects
+// list collection (Len/At become valid), false bitmap-only.
+func (f *Frontier) BeginCollect(sparse bool) {
+	f.collect = sparse
+	f.full = false
+	f.tail.Store(0)
+}
+
+// SeedAll makes the frontier the full set [0,n) — the cold-solve seed.  No
+// bits are set: full-mode iteration needs none, and Clear is free.
+func (f *Frontier) SeedAll() {
+	f.full = true
+	f.collect = false
+	f.cnt.Store(int64(f.n))
+}
+
+// Add activates v.  Idempotent (the bitmap dedups) and safe from
+// concurrent loop bodies; in sparse collection mode the deduplicated
+// vertex is also appended to the list through the reservation cursor.
+func (f *Frontier) Add(v int32) {
+	if f.add(v, false) {
+		f.cnt.Add(1)
+	}
+}
+
+// add is Add without the occupancy bump, reporting whether v was newly
+// activated — the engine bodies count activations in a chunk-local and
+// fold them into cnt once per chunk, instead of paying an atomic add per
+// activation.  seq selects plain bitmap stores for a single-proc runtime
+// (the CAS loop's only job is racing other procs).  The list reservation
+// cursor stays atomic either way: appends are rare (sparse rounds only)
+// and an uncontended Add is nearly free.
+func (f *Frontier) add(v int32, seq bool) bool {
+	w, b := v>>6, uint(v&63)
+	if seq {
+		if f.words[w]&(1<<b) != 0 {
+			return false
+		}
+		f.words[w] |= 1 << b
+	} else {
+		for {
+			old := atomic.LoadInt64(&f.words[w])
+			if old&(1<<b) != 0 {
+				return false
+			}
+			if atomic.CompareAndSwapInt64(&f.words[w], old, old|(1<<b)) {
+				break
+			}
+		}
+	}
+	if f.collect {
+		f.list[f.tail.Add(1)-1] = v
+	}
+	return true
+}
+
+// Clear empties the frontier in O(active) — full mode drops the flag,
+// sparse mode zeroes exactly the words its list entries touched, a
+// bitmap-only frontier pays the word scan.  Orchestrator-only.
+func (f *Frontier) Clear() {
+	if f.full {
+		f.full = false
+	} else if f.collect {
+		for _, v := range f.list[:f.tail.Load()] {
+			f.words[v>>6] = 0
+		}
+		f.tail.Store(0)
+	} else if f.cnt.Load() != 0 {
+		clear(f.words)
+	}
+	f.collect = false
+	f.cnt.Store(0)
+}
+
+// afterConsume is Clear for a frontier whose bitmap the engine iterators
+// already zeroed word-by-word as they consumed it (the dense case); only
+// the sparse list sweep and the flags remain.
+func (f *Frontier) afterConsume() {
+	if f.full {
+		f.full = false
+	} else if f.collect {
+		for _, v := range f.list[:f.tail.Load()] {
+			f.words[v>>6] = 0
+		}
+		f.tail.Store(0)
+	}
+	f.collect = false
+	f.cnt.Store(0)
+}
+
+// FrontierStats is the per-invocation accounting of the engine kernels:
+// rounds executed, adjacency entries inspected (the work ∝ frontier
+// measure the trace reports against dense rounds × 2m), successful label
+// lowerings, and dense↔sparse representation switches between rounds.
+type FrontierStats struct {
+	Rounds    int
+	Inspected int64
+	Lowered   int64
+	Switches  int
+}
+
+// FrontierPropagate runs asynchronous minimum-label propagation to
+// fixpoint, driven by the frontier: each round processes exactly the
+// active vertices, comparing labels across their incident edges in both
+// directions — a larger neighbor label is CAS-lowered and the neighbor
+// activated (push), a smaller one lowers the vertex itself, which then
+// re-activates to announce its improvement (pull).  New labels are visible
+// immediately within the round, so a path or grid chunk floods to its
+// minimum in one in-order pass instead of Θ(diameter) synchronous rounds.
+//
+// Labels must be initialized by the caller (identity for a cold solve) and
+// cur seeded with every vertex whose label may need recomputing — SeedAll
+// for cold solves, the dirty set for scoped repair.  The fixpoint is the
+// per-component minimum of the initial labels, deterministic for any procs
+// and schedule (labels only decrease and every decrease re-activates its
+// vertex, so an unsettled edge is always revisited); round counts and
+// occupancies are schedule-dependent beyond one proc.  Both frontiers are
+// left empty.  onRound, when non-nil, observes each round's occupancy and
+// representation before it runs (the trace hook); pass nil on the
+// tracing-off path.
+func FrontierPropagate(rt *Runtime, labels []int32, csr *graph.CSR, cur, next *Frontier, onRound func(occ int64, dense bool)) FrontierStats {
+	var st FrontierStats
+	var insp, low atomic.Int64
+	n := cur.n
+	// One predictable branch per label change selects plain stores when
+	// the runtime is single-proc: the CAS loop's only job is racing other
+	// procs, and per-edge it is the engine's dominant atomic cost.
+	seq := rt.Procs() == 1
+	// Hoisted bodies: src/dst are captured cells the round loop swaps, so
+	// the whole fixpoint shares one closure set (no per-round allocation).
+	src, dst := cur, next
+	// lower drops labels[u] to x when that improves it.  Called only on
+	// label-changing edges (~n per component, not 2m), so the closure call
+	// stays off the scan's hot path.
+	lower := func(u, x int32) bool {
+		if seq {
+			if labels[u] > x {
+				labels[u] = x
+				return true
+			}
+			return false
+		}
+		return lowerMin(labels, u, x)
+	}
+	visit := func(v int32) (li, ll, act int64) {
+		lv := atomic.LoadInt32(&labels[v])
+		off, end := csr.Off[v], csr.Off[v+1]
+		li = end - off
+		for i := off; i < end; i++ {
+			u := csr.Nbr[i]
+			lu := atomic.LoadInt32(&labels[u])
+			if lu == lv {
+				continue
+			}
+			if lu > lv {
+				if lower(u, lv) {
+					ll++
+					if dst.add(u, seq) {
+						act++
+					}
+				}
+				// A lost race means someone lowered u below lv and
+				// re-activated it themselves.
+			} else {
+				if lower(v, lu) {
+					ll++
+				}
+				// Whoever holds the winning CAS may be a concurrent
+				// pusher; either way v's label dropped, so continue the
+				// scan with the improvement and re-activate v to push it
+				// to the neighbors already passed.
+				if nl := atomic.LoadInt32(&labels[v]); nl < lv {
+					lv = nl
+					if dst.add(v, seq) {
+						act++
+					}
+				}
+			}
+		}
+		return li, ll, act
+	}
+	// fullBody is the cold-solve seed round, where re-activation can
+	// mostly be elided: chunks iterate ascending, so a neighbor u with
+	// v < u < hi is provably visited later in this very chunk and will
+	// pull v's improvement itself — no frontier write needed.  Only
+	// out-of-chunk effects activate: pushes to already-passed or
+	// foreign-chunk vertices, and a re-announce of v when a pull left an
+	// already-scanned out-of-chunk neighbor (which keeps its label —
+	// maxOut tracks the largest such) above v's final label.  On id-local
+	// meshes the seed round floods whole chunks this way and the next
+	// frontier collapses to the chunk boundaries.  The seed round is ~2m
+	// inspections — the engine's dominant cost — so the single-proc
+	// variant is the same loop rewritten over plain loads and stores with
+	// the lowerings inlined: shaving the atomics and the lower calls off
+	// this inner loop is what lets the engine undercut the union-find
+	// kernels on mesh families at procs=1.  Exactly one of the two
+	// bodies is materialized, keeping the closure set's size fixed.
+	var fullBody func(lo, hi, c int)
+	if seq {
+		fullBody = func(lo, hi, _ int) {
+			var li, ll, act int64
+			for v := int32(lo); v < int32(hi); v++ {
+				lv := labels[v]
+				off, end := csr.Off[v], csr.Off[v+1]
+				li += end - off
+				maxOut := int32(-1)
+				for i := off; i < end; i++ {
+					u := csr.Nbr[i]
+					lu := labels[u]
+					if lu == lv {
+						if (u < v || int(u) >= hi) && lu > maxOut {
+							maxOut = lu
+						}
+						continue
+					}
+					if lu > lv {
+						labels[u] = lv
+						ll++
+						if u > v && int(u) < hi {
+							continue // visited later in this chunk: it pulls from v
+						}
+						if dst.add(u, true) {
+							act++
+						}
+						continue
+					}
+					labels[v] = lu
+					lv = lu
+					ll++
+					if (u < v || int(u) >= hi) && lu > maxOut {
+						maxOut = lu
+					}
+				}
+				if maxOut > lv {
+					if dst.add(v, true) {
+						act++
+					}
+				}
+			}
+			insp.Add(li)
+			low.Add(ll)
+			if act > 0 {
+				dst.cnt.Add(act)
+			}
+		}
+	} else {
+		fullBody = func(lo, hi, _ int) {
+			var li, ll, act int64
+			for v := int32(lo); v < int32(hi); v++ {
+				lv := atomic.LoadInt32(&labels[v])
+				off, end := csr.Off[v], csr.Off[v+1]
+				li += end - off
+				maxOut := int32(-1)
+				for i := off; i < end; i++ {
+					u := csr.Nbr[i]
+					lu := atomic.LoadInt32(&labels[u])
+					if lu == lv {
+						if (u < v || int(u) >= hi) && lu > maxOut {
+							maxOut = lu
+						}
+						continue
+					}
+					if lu > lv {
+						if lowerMin(labels, u, lv) {
+							ll++
+							if u > v && int(u) < hi {
+								continue // visited later in this chunk: it pulls from v
+							}
+							if dst.add(u, false) {
+								act++
+							}
+						}
+						continue
+					}
+					if lowerMin(labels, v, lu) {
+						ll++
+					}
+					if nl := atomic.LoadInt32(&labels[v]); nl < lv {
+						lv = nl
+					}
+					if (u < v || int(u) >= hi) && lu > maxOut {
+						maxOut = lu
+					}
+				}
+				if maxOut > lv {
+					if dst.add(v, false) {
+						act++
+					}
+				}
+			}
+			insp.Add(li)
+			low.Add(ll)
+			if act > 0 {
+				dst.cnt.Add(act)
+			}
+		}
+	}
+	listBody := func(lo, hi, _ int) {
+		var li, ll, act int64
+		lst := src.list
+		for i := lo; i < hi; i++ {
+			a, b, c := visit(lst[i])
+			li += a
+			ll += b
+			act += c
+		}
+		insp.Add(li)
+		low.Add(ll)
+		if act > 0 {
+			dst.cnt.Add(act)
+		}
+	}
+	wordBody := func(lo, hi, _ int) {
+		var li, ll, act int64
+		ws := src.words
+		for w := lo; w < hi; w++ {
+			x := ws[w]
+			if x == 0 {
+				continue
+			}
+			// Consume the word: adds this round target dst's bitmap, and
+			// each word is owned by exactly one chunk, so the plain store
+			// is race-free.
+			ws[w] = 0
+			base := int32(w << 6)
+			for x != 0 {
+				a, b, c := visit(base + int32(bits.TrailingZeros64(uint64(x))))
+				x &= x - 1
+				li += a
+				ll += b
+				act += c
+			}
+		}
+		insp.Add(li)
+		low.Add(ll)
+		if act > 0 {
+			dst.cnt.Add(act)
+		}
+	}
+
+	prevDense := false
+	for src.Count() > 0 {
+		st.Rounds++
+		// Predict the next round's representation from this occupancy.
+		dst.BeginCollect(src.Count() <= int64(n)/frontierSparseFrac)
+		dense := !src.Sparse()
+		if st.Rounds > 1 && dense != prevDense {
+			st.Switches++
+		}
+		prevDense = dense
+		if onRound != nil {
+			onRound(src.Count(), dense)
+		}
+		switch {
+		case src.full:
+			rt.ForSpans(n, fullBody)
+		case src.Sparse():
+			rt.ForSpans(src.Len(), listBody)
+		default:
+			rt.ForSpans(len(src.words), wordBody)
+		}
+		src.afterConsume()
+		src, dst = dst, src
+	}
+	st.Inspected = insp.Load()
+	st.Lowered = low.Load()
+	return st
+}
+
+// finishVertex is the per-vertex body of the sampling finish pass, shared
+// by SkipUnite (which drives it over the full vertex range) and
+// FrontierUnite (which drives it from an active-vertex set): neighbors
+// sharing the vertex's cached root pv are dismissed with one load, the
+// rest go through Unite.  maj ≥ 0 keeps majority-mode semantics (the
+// caller skips majority vertices before calling); maj < 0 is the
+// direction-filtered mode (only u > v processed).
+func finishVertex(p []int32, csr *graph.CSR, maj, v, pv int32) (att, hk int64) {
+	off, end := csr.Off[v], csr.Off[v+1]
+	if maj >= 0 {
+		for i := off; i < end; i++ {
+			u := csr.Nbr[i]
+			if u == v || atomic.LoadInt32(&p[u]) == pv {
+				continue
+			}
+			att++
+			if Unite(p, v, u) {
+				hk++
+			}
+		}
+	} else {
+		for i := off; i < end; i++ {
+			u := csr.Nbr[i]
+			if u <= v || atomic.LoadInt32(&p[u]) == pv {
+				continue
+			}
+			att++
+			if Unite(p, v, u) {
+				hk++
+			}
+		}
+	}
+	return att, hk
+}
+
+// finishSpan applies finishVertex to the vertex range [lo,hi), with the
+// majority skip test inline (one sequential root load per vertex — the
+// full-frontier mode of the finish kernel).
+func finishSpan(p []int32, csr *graph.CSR, maj int32, lo, hi int) (att, hk int64) {
+	for v := lo; v < hi; v++ {
+		pv := atomic.LoadInt32(&p[v])
+		if pv == maj {
+			continue
+		}
+		a, h := finishVertex(p, csr, maj, int32(v), pv)
+		att += a
+		hk += h
+	}
+	return att, hk
+}
+
+// FrontierUnite is the finish pass scoped to an active-vertex set: exactly
+// the frontier's vertices run finishVertex, so the work is Σ deg over the
+// frontier instead of n + Σ deg over everything — the seeded form the
+// incremental machinery feeds (touched endpoints, dirty regions).  Sound
+// whenever every unsettled edge is incident to the frontier (the caller's
+// seeding contract); the fixpoint then equals a full Unite pass: component
+// minima, deterministic for any procs and schedule.  The frontier is
+// consumed (left empty).  Counts are per-chunk locals folded once, like
+// SkipUnite's.
+//
+// maj has SkipUnite's semantics with one extra obligation on partial
+// seeds: the maj < 0 direction filter assumes every vertex runs (each edge
+// is covered from its lower endpoint), so a partially seeded frontier must
+// pass either a true majority root or a value no root can take —
+// int32(len(p)) is the canonical "skip nothing, filter nothing" sentinel.
+func FrontierUnite(rt *Runtime, p []int32, csr *graph.CSR, f *Frontier, maj int32) (attempts, hooks int64) {
+	var att, hk atomic.Int64
+	switch {
+	case f.full:
+		rt.ForRanges(f.n, func(lo, hi int) {
+			a, h := finishSpan(p, csr, maj, lo, hi)
+			att.Add(a)
+			hk.Add(h)
+		})
+	case f.Sparse():
+		lst := f.list
+		rt.ForRanges(f.Len(), func(lo, hi int) {
+			var la, lh int64
+			for i := lo; i < hi; i++ {
+				v := lst[i]
+				if pv := atomic.LoadInt32(&p[v]); pv != maj {
+					a, h := finishVertex(p, csr, maj, v, pv)
+					la += a
+					lh += h
+				}
+			}
+			att.Add(la)
+			hk.Add(lh)
+		})
+	default:
+		ws := f.words
+		rt.ForRanges(len(ws), func(lo, hi int) {
+			var la, lh int64
+			for w := lo; w < hi; w++ {
+				x := ws[w]
+				if x == 0 {
+					continue
+				}
+				ws[w] = 0
+				base := int32(w << 6)
+				for x != 0 {
+					v := base + int32(bits.TrailingZeros64(uint64(x)))
+					x &= x - 1
+					if pv := atomic.LoadInt32(&p[v]); pv != maj {
+						a, h := finishVertex(p, csr, maj, v, pv)
+						la += a
+						lh += h
+					}
+				}
+			}
+			att.Add(la)
+			hk.Add(lh)
+		})
+	}
+	f.afterConsume()
+	return att.Load(), hk.Load()
+}

@@ -228,6 +228,16 @@ func (r *Runtime) ForRanges(n int, body func(lo, hi int)) {
 	r.dispatch(n, r.grain, func(lo, hi, _ int) { body(lo, hi) }, nil)
 }
 
+// ForSpans is ForRanges on the dispatcher's native signature (the chunk
+// index rides along): no adapter closure is created, so a body hoisted
+// outside an engine loop can be re-dispatched every round with zero
+// per-call allocation — the frontier engine's round loop is the motivating
+// case (ForRanges pays one closure allocation per call to hide the chunk
+// index, which a per-round caller would pay per round).
+func (r *Runtime) ForSpans(n int, body func(lo, hi, c int)) {
+	r.dispatch(n, r.grain, body, nil)
+}
+
 // RunCoarse executes body(i) for every i in [0,n) treating each index as one
 // schedulable task (chunk size 1).  Kernels that have already blocked their
 // work into coarse pieces — e.g. Compact's per-block count and scatter

@@ -216,42 +216,17 @@ func EstimateSkip(rt *Runtime, p []int32, edges []graph.Edge, probes int) float6
 // in per-chunk locals, folded with one atomic add per chunk.  The final
 // partition equals a plain Unite pass over all edges: component minima,
 // deterministic for any procs and schedule.
+//
+// SkipUnite is the full-frontier instantiation of the shared finish
+// kernel (finishSpan/finishVertex in frontier.go): the non-majority side
+// is the same per-vertex body FrontierUnite drives from a seeded
+// active-vertex set, so the two passes cannot drift apart semantically.
 func SkipUnite(rt *Runtime, p []int32, csr *graph.CSR, maj int32) (attempts, hooks int64) {
 	var processed, hooked atomic.Int64
 	rt.ForRanges(len(p), func(lo, hi int) {
-		local, lh := int64(0), int64(0)
-		for v := lo; v < hi; v++ {
-			pv := atomic.LoadInt32(&p[v])
-			if pv == maj {
-				continue
-			}
-			off, end := csr.Off[v], csr.Off[v+1]
-			if maj >= 0 {
-				for i := off; i < end; i++ {
-					u := csr.Nbr[i]
-					if u == int32(v) || atomic.LoadInt32(&p[u]) == pv {
-						continue
-					}
-					local++
-					if Unite(p, int32(v), u) {
-						lh++
-					}
-				}
-			} else {
-				for i := off; i < end; i++ {
-					u := csr.Nbr[i]
-					if u <= int32(v) || atomic.LoadInt32(&p[u]) == pv {
-						continue
-					}
-					local++
-					if Unite(p, int32(v), u) {
-						lh++
-					}
-				}
-			}
-		}
-		processed.Add(local)
-		hooked.Add(lh)
+		a, h := finishSpan(p, csr, maj, lo, hi)
+		processed.Add(a)
+		hooked.Add(h)
 	})
 	return processed.Load(), hooked.Load()
 }

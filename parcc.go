@@ -144,10 +144,24 @@ const (
 	// random graphs, block/community structure, cliques; on sparse
 	// low-degree families it roughly matches CASUnite.
 	Sample Algorithm = "sample"
+	// Frontier is the frontier-driven solve engine: asynchronous
+	// minimum-label propagation over an active-vertex set that switches
+	// between a dense bitmap and a sparse compacted list on occupancy
+	// (direction-optimizing style).  Per-round work is proportional to the
+	// frontier — only vertices whose labels changed are revisited — which
+	// wins the high-diameter, low-degree mesh regime (grids, tori, paths)
+	// where every dense-round algorithm pays rounds × m and the sampling
+	// gamble has nothing to skip.  Labels are the component minima,
+	// deterministic on every backend (label CASes only lower values toward
+	// the same fixpoint); Steps/Work are charged nominally, like CASUnite.
+	// With tracing enabled, per-round occupancy and representation
+	// switches appear in Result.Trace.Frontier.
+	Frontier Algorithm = "frontier"
 	// Auto picks the solver per graph from the session's cached plan
-	// statistics (n, m, average/max degree, density): union-find for tiny
-	// inputs, Sample when the density statistics predict a high skip
-	// ratio, CASUnite otherwise.  The decision is recorded in
+	// statistics (n, m, average/max degree, density, edge locality):
+	// union-find for tiny inputs, Sample when the density statistics
+	// predict a high skip ratio, Frontier on low-degree high-locality mesh
+	// shapes, CASUnite otherwise.  The decision is recorded in
 	// Result.Algorithm — a result from an Auto solve echoes the concrete
 	// algorithm that ran, never "auto".  The decision table is documented
 	// in docs/ARCHITECTURE.md.

@@ -50,7 +50,7 @@ func TestSampleAutoEquivalenceAcrossFamilies(t *testing.T) {
 				t.Errorf("%s/%s: auto partition differs from cas", name, backend)
 			}
 			switch auto.Algorithm {
-			case UnionFind, CASUnite, Sample:
+			case UnionFind, CASUnite, Sample, Frontier:
 			default:
 				t.Errorf("%s/%s: auto recorded %q, want a concrete dispatch decision",
 					name, backend, auto.Algorithm)
@@ -59,9 +59,9 @@ func TestSampleAutoEquivalenceAcrossFamilies(t *testing.T) {
 	}
 }
 
-// TestAutoDecisionRecorded pins the dispatch table's three regimes on
+// TestAutoDecisionRecorded pins the dispatch table's four regimes on
 // representative shapes: tiny → sequential union-find, dense → sample,
-// large-but-sparse → cas.
+// mesh (low-degree, id-local) → frontier, random-sparse → cas.
 func TestAutoDecisionRecorded(t *testing.T) {
 	cases := []struct {
 		name string
@@ -70,7 +70,8 @@ func TestAutoDecisionRecorded(t *testing.T) {
 	}{
 		{"tiny", gen.Path(50), UnionFind},
 		{"dense", gen.GNM(4096, 1<<16, 3), Sample},
-		{"sparse", gen.Path(1 << 13), CASUnite},
+		{"mesh", gen.Path(1 << 13), Frontier},
+		{"sparse", gen.GNM(1<<13, 1<<13, 3), CASUnite},
 	}
 	for _, c := range cases {
 		res, err := ConnectedComponents(c.g, &Options{Algorithm: Auto})

@@ -62,6 +62,10 @@ type Solver struct {
 	inc       *incSession // live incremental session (nil until Attach)
 	lastTrace *Trace      // most recent traced operation (tracing on only)
 	closed    bool
+	// fCur/fNxt are the frontier engine's reusable active-vertex-set pair
+	// (nil until the first frontier solve; empty between operations), so
+	// warm frontier solves allocate nothing.
+	fCur, fNxt *par.Frontier
 
 	// snap is the published read view (see PublishSnapshot/ReadView):
 	// written under mu, loaded lock-free by any number of readers.
@@ -195,11 +199,12 @@ func (s *Solver) SolveInto(g *Graph, res *Result) error {
 	algo := o.Algorithm
 	var rule string
 	var autoMaxDeg int
+	autoLocality := -1.0
 	if algo == Auto {
 		// The decision may build or revalidate the plan — charge that to
 		// the plan phase.
 		tp := rec.Begin()
-		algo, rule, autoMaxDeg = s.chooseAuto(g)
+		algo, rule, autoMaxDeg, autoLocality = s.chooseAuto(g)
 		rec.End(obs.PhasePlan, tp)
 	}
 	dst := res.Labels
@@ -249,6 +254,9 @@ func (s *Solver) SolveInto(g *Graph, res *Result) error {
 			res.NumComponents, res.Phases = fls.NumComponents, fls.Phases
 			res.Breakdown = stageCostsInto(res.Breakdown, fls.Breakdown)
 		}
+	case Frontier:
+		labels, comps := s.solveFrontier(g, dst)
+		res.Labels, res.NumComponents = labels, comps
 	case UnionFind:
 		res.Labels = baseline.UnionFindLabelsInto(cx, g, dst)
 	case BFS:
@@ -257,8 +265,8 @@ func (s *Solver) SolveInto(g *Graph, res *Result) error {
 		return fmt.Errorf("parcc: unknown algorithm %q", o.Algorithm)
 	}
 	switch algo {
-	case FLS, FLSKnownGap, Sample:
-		// Decomposed internally: core/solveSample recorded their own spans.
+	case FLS, FLSKnownGap, Sample, Frontier:
+		// Decomposed internally: these solves recorded their own spans.
 	default:
 		rec.End(obs.PhaseSolve, solveSpan)
 	}
@@ -282,7 +290,7 @@ func (s *Solver) SolveInto(g *Graph, res *Result) error {
 			tr.Dispatch = &DispatchDecision{
 				Chosen: algo, Rule: rule,
 				N: g.N, M: g.M(), AvgDeg: 2 * float64(g.M()) / float64(max(g.N, 1)),
-				MaxDeg: autoMaxDeg,
+				MaxDeg: autoMaxDeg, Locality: autoLocality,
 			}
 		}
 		res.Trace = tr
@@ -417,6 +425,29 @@ const (
 	// sampleIncMinEdges is the edge count above which Attach and the
 	// scoped re-solve route through the sampling fast path.
 	sampleIncMinEdges = 1 << 15
+	// frontierMeshAvgDeg / frontierMeshMaxDeg / frontierMeshLocality /
+	// frontierCliqueMaxDeg describe the id-local regime the frontier
+	// engine wins: low average degree (grids are 4, tori 4, paths 2 —
+	// random sparse graphs sit higher or fail locality) and id-local
+	// edges (generated meshes connect id-adjacent vertices and score ≈ 1
+	// on the sampled locality; gnm-style random graphs score ≈
+	// 2/localityWindow).  Within that band the max degree separates the
+	// shapes the seed sweep floods in O(1) rounds from the ones it
+	// cannot: bounded-degree lattices (MaxDeg ≤ frontierMeshMaxDeg —
+	// every vertex adjacent to its immediate predecessors, so one
+	// ascending pass carries the minimum through) and locally dense
+	// blocks (MaxDeg ≥ frontierCliqueMaxDeg — cliques and hub clusters
+	// whose vertices see the region minimum directly, as in barbell and
+	// lollipop).  The middle band — randomly wired sparse local blocks,
+	// e.g. a union of small gnm components — floods in Θ(log) rounds of
+	// nearly full occupancy and stays with the union-find kernels.
+	frontierMeshAvgDeg   = 6.0
+	frontierMeshMaxDeg   = 8
+	frontierCliqueMaxDeg = 64
+	frontierMeshLocality = 0.95
+	// frontierIncMinEdges is the edge count above which the incremental
+	// paths consider routing a full labeling through the frontier engine.
+	frontierIncMinEdges = 1 << 14
 )
 
 // sampleFallbackSkip is the predicted skip ratio below which the sample
@@ -437,27 +468,53 @@ var sampleFallbackSkip = 0.2
 // (O(m)), the same cost every plan consumer pays.  The decision table is
 // documented in docs/ARCHITECTURE.md.  Callers hold s.mu.
 //
+// Below the dense threshold the mesh rule runs first: an O(1) sampled
+// edge-locality sweep over the edge list decides whether the graph looks
+// id-local (grids, tori, paths, barbells score ≈ 1; random sparse graphs
+// ≈ 0.1), and only then is the plan consulted for the exact MaxDeg that
+// separates the flood-in-O(1)-rounds shapes (bounded-degree lattices,
+// locally dense clique blocks) from id-local regions wired randomly inside
+// — so purely random sparse inputs still dispatch O(1), without a plan
+// build.
+//
 // Alongside the decision it reports the decision-table row that fired
-// ("tiny", "dense", "skewed", "sparse") and the plan's max degree when the
-// inconclusive band consulted it (0 otherwise) — the inputs Trace.Dispatch
-// records.
-func (s *Solver) chooseAuto(g *Graph) (Algorithm, string, int) {
+// ("tiny", "dense", "mesh", "skewed", "sparse"), the plan's max degree
+// when a band consulted it (0 otherwise), and the sampled edge locality
+// when the mesh rule measured it (−1 otherwise) — the inputs
+// Trace.Dispatch records.
+func (s *Solver) chooseAuto(g *Graph) (Algorithm, string, int, float64) {
 	n, m := g.N, g.M()
 	if n+m <= autoTinyCutoff {
-		return UnionFind, "tiny", 0
+		return UnionFind, "tiny", 0, -1
 	}
 	avg := 2 * float64(m) / float64(n)
 	if avg >= autoSampleAvgDeg {
-		return Sample, "dense", 0
+		return Sample, "dense", 0, -1
+	}
+	if avg <= frontierMeshAvgDeg {
+		if loc := graph.EdgeLocality(g.N, g.Edges); loc >= frontierMeshLocality {
+			plan := s.planFor(g)
+			if int(plan.MaxDeg) <= frontierMeshMaxDeg || int(plan.MaxDeg) >= frontierCliqueMaxDeg {
+				return Frontier, "mesh", int(plan.MaxDeg), loc
+			}
+			// Id-local but randomly wired inside (moderate max degree —
+			// neither lattice nor dense block): the seed sweep cannot
+			// flood such regions in O(1) rounds, so fall through to the
+			// degree bands with the plan in hand.
+			if avg >= autoSampleSkewDeg && float64(plan.MaxDeg) >= autoSampleMaxDeg {
+				return Sample, "skewed", int(plan.MaxDeg), loc
+			}
+			return CASUnite, "sparse", int(plan.MaxDeg), loc
+		}
 	}
 	if avg >= autoSampleSkewDeg {
 		plan := s.planFor(g)
 		if float64(plan.MaxDeg) >= autoSampleMaxDeg && plan.AvgDeg() >= autoSampleSkewDeg {
-			return Sample, "skewed", int(plan.MaxDeg)
+			return Sample, "skewed", int(plan.MaxDeg), -1
 		}
-		return CASUnite, "sparse", int(plan.MaxDeg)
+		return CASUnite, "sparse", int(plan.MaxDeg), -1
 	}
-	return CASUnite, "sparse", 0
+	return CASUnite, "sparse", 0, -1
 }
 
 // solveSample is the Afforest-style sampling solve: sample → flatten →
@@ -586,10 +643,95 @@ func sampleWorthwhile(g *graph.Graph) bool {
 	return g.M() >= sampleIncMinEdges && 2*float64(g.M()) >= autoSampleAvgDeg*float64(g.N)
 }
 
+// solveFrontier is the frontier-driven solve: plan lookup, then the
+// frontier kernel sequence under a nominal model charge (one O(log n)-deep
+// linear-work contraction, like CASUnite — CAS retry and revisit counts
+// are not PRAM quantities).  Callers hold s.mu.
+func (s *Solver) solveFrontier(g *Graph, dst []int32) ([]int32, int) {
+	rec := s.cx.Rec
+	span := rec.Begin()
+	e := s.casExec()
+	plan := s.planFor(g)
+	rec.End(obs.PhasePlan, span)
+	var labels []int32
+	var comps int
+	s.m.Contract(prim.Log2Ceil(g.N+2)+1, int64(2*g.M()+g.N), func() {
+		labels, comps = s.frontierLabelsInto(e, g, plan.CSR, dst)
+	})
+	return labels, comps
+}
+
+// frontierLabelsInto is the uncharged kernel sequence of the frontier
+// engine over an explicit CSR — identity labels, a full cold-solve seed,
+// asynchronous minimum-label propagation to fixpoint over the session's
+// reusable frontier pair, then a minima count (a label equals its index
+// exactly once per component) — shared by the frontier solve, Attach, and
+// the scoped re-solve of RemoveEdges on mesh-like inputs.  Returns the
+// labels (component minima) and the exact component count.  Callers hold
+// s.mu.
+func (s *Solver) frontierLabelsInto(e *par.Runtime, g *graph.Graph, csr *graph.CSR, dst []int32) ([]int32, int) {
+	rec := s.cx.Rec
+	span := rec.Begin()
+	n := g.N
+	p := dst
+	if cap(p) < n {
+		p = make([]int32, n)
+	}
+	p = p[:n]
+	e.Run(n, func(v int) { p[v] = int32(v) })
+	cur, next := s.frontierPair(n)
+	cur.SeedAll()
+	// The per-round occupancy hook is bound only when tracing is on, so
+	// the tracing-off hot loop carries a nil check per round, not a call.
+	var onRound func(occ int64, dense bool)
+	if rec != nil {
+		onRound = rec.RecordFrontierRound
+	}
+	st := par.FrontierPropagate(e, p, csr, cur, next, onRound)
+	rec.Add(obs.CtrFrontierInspected, st.Inspected)
+	rec.Add(obs.CtrFrontierLowered, st.Lowered)
+	rec.Add(obs.CtrFrontierSwitches, int64(st.Switches))
+	span = rec.Lap(obs.PhaseSolve, span)
+	comps := par.Count(e, n, func(v int) bool { return p[v] == int32(v) })
+	rec.End(obs.PhaseCount, span)
+	return p, int(comps)
+}
+
+// frontierPair returns the session's reusable frontier pair sized for n
+// vertices, building or growing it through the arena on demand.  Both
+// frontiers are empty between operations (the engine consumes them), so
+// reuse and Resize need no clearing.  Callers hold s.mu.
+func (s *Solver) frontierPair(n int) (*par.Frontier, *par.Frontier) {
+	if s.fCur == nil || s.fCur.Cap() < n {
+		if s.fCur != nil {
+			s.fCur.Free(s.arena)
+			s.fNxt.Free(s.arena)
+		}
+		s.fCur = par.NewFrontier(s.arena, n)
+		s.fNxt = par.NewFrontier(s.arena, n)
+		return s.fCur, s.fNxt
+	}
+	s.fCur.Resize(n)
+	s.fNxt.Resize(n)
+	return s.fCur, s.fNxt
+}
+
+// frontierWorthwhile reports whether the incremental paths should route a
+// full-graph labeling through the frontier engine: the same mesh signals
+// the Auto dispatcher uses (low average degree, id-local edges), plus
+// enough edges that per-round frontier bookkeeping amortizes.  Computed
+// from the edge list directly — the incremental paths often hold no plan
+// for the graph in question (scoped subgraphs never do).
+func frontierWorthwhile(g *graph.Graph) bool {
+	return g.M() >= frontierIncMinEdges &&
+		2*float64(g.M()) <= frontierMeshAvgDeg*float64(g.N) &&
+		graph.EdgeLocality(g.N, g.Edges) >= frontierMeshLocality
+}
+
 func knownAlgorithm(a Algorithm) bool {
 	switch a {
 	case FLS, FLSKnownGap, LTZ, SV, RandomMate, LabelProp, LT, ParBFS,
-		CASUnite, UnionFind, BFS, Sample, Auto:
+		CASUnite, UnionFind, BFS, Sample, Frontier, Auto:
 		return true
 	}
 	return false

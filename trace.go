@@ -59,6 +59,9 @@ type Trace struct {
 	// Dispatch records the auto dispatcher's decision; nil unless the
 	// operation ran with Options.Algorithm Auto.
 	Dispatch *DispatchDecision `json:"dispatch,omitempty"`
+	// Frontier records the frontier engine's round structure; nil unless
+	// the operation ran the frontier kernels.
+	Frontier *TraceFrontier `json:"frontier,omitempty"`
 	// Incremental records the batch shape of a live-update operation; nil
 	// for plain solves.
 	Incremental *TraceIncremental `json:"incremental,omitempty"`
@@ -84,9 +87,30 @@ type DispatchDecision struct {
 	M      int     `json:"m"`
 	AvgDeg float64 `json:"avg_deg"`
 	// MaxDeg is the plan's exact maximum degree — consulted (and nonzero)
-	// only in the inconclusive band between the sparse and dense
-	// thresholds, where the plan is built/validated to refine the call.
+	// only in the bands that build/validate the plan to refine the call.
 	MaxDeg int `json:"max_deg,omitempty"`
+	// Locality is the sampled edge-locality statistic the mesh rule
+	// measured (fraction of edges with id-close endpoints); −1 when the
+	// decision never computed it.
+	Locality float64 `json:"locality,omitempty"`
+}
+
+// TraceFrontier is the round structure of a frontier-engine operation.
+type TraceFrontier struct {
+	// Rounds is the exact number of rounds executed; Occupancy holds the
+	// per-round active-vertex counts of the first obs.MaxFrontierRounds of
+	// them, and Dense whether each of those rounds iterated the dense
+	// bitmap representation (false: the sparse compacted list).
+	Rounds    int     `json:"rounds"`
+	Occupancy []int64 `json:"occupancy"`
+	Dense     []bool  `json:"dense"`
+	// Inspected counts adjacency entries the kernels examined — the
+	// work ∝ frontier measure; compare against rounds × 2m, what a dense
+	// round structure would have read.  Lowered counts successful label
+	// CASes; Switches the dense↔sparse representation changes.
+	Inspected int64 `json:"inspected"`
+	Lowered   int64 `json:"lowered"`
+	Switches  int   `json:"switches"`
 }
 
 // TraceIncremental is the batch shape of a traced live-update operation.
@@ -157,7 +181,25 @@ func (t *Trace) WriteText(w io.Writer) {
 		if d.MaxDeg > 0 {
 			fmt.Fprintf(w, " max-deg=%d", d.MaxDeg)
 		}
+		if d.Locality >= 0 {
+			fmt.Fprintf(w, " locality=%.2f", d.Locality)
+		}
 		fmt.Fprintln(w, ")")
+	}
+	if f := t.Frontier; f != nil {
+		fmt.Fprintf(w, "  frontier: rounds=%d inspected=%d lowered=%d switches=%d\n",
+			f.Rounds, f.Inspected, f.Lowered, f.Switches)
+		for i, occ := range f.Occupancy {
+			rep := "sparse"
+			if f.Dense[i] {
+				rep = "dense"
+			}
+			fmt.Fprintf(w, "    round %2d  %-6s  occupancy=%d\n", i+1, rep, occ)
+		}
+		if f.Rounds > len(f.Occupancy) {
+			fmt.Fprintf(w, "    ... %d more rounds (occupancy record capped at %d)\n",
+				f.Rounds-len(f.Occupancy), len(f.Occupancy))
+		}
 	}
 	if inc := t.Incremental; inc != nil {
 		fmt.Fprintf(w, "  incremental: batch=%d", inc.BatchEdges)
@@ -185,6 +227,21 @@ func traceFromRecorder(rec *obs.Recorder, op string, algo Algorithm, total time.
 	tr.SkipEstimate = obs.FromPPM(rec.Gauge(obs.GaugeSkipEstPPM))
 	tr.SampledCoverage = obs.FromPPM(rec.Gauge(obs.GaugeCoverPPM))
 	tr.MajorityMode = rec.Gauge(obs.GaugeMajorityMode) != 0
+	if rounds := rec.Count(obs.CtrFrontierRounds); rounds > 0 {
+		f := &TraceFrontier{
+			Rounds:    int(rounds),
+			Inspected: rec.Count(obs.CtrFrontierInspected),
+			Lowered:   rec.Count(obs.CtrFrontierLowered),
+			Switches:  int(rec.Count(obs.CtrFrontierSwitches)),
+		}
+		kept := rec.FrontierRounds()
+		f.Occupancy = make([]int64, kept)
+		f.Dense = make([]bool, kept)
+		for i := 0; i < kept; i++ {
+			f.Occupancy[i], f.Dense[i] = rec.FrontierRound(i)
+		}
+		tr.Frontier = f
+	}
 	return tr
 }
 

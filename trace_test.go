@@ -11,8 +11,10 @@ import (
 
 // TestTraceAllocs pins the disabled-Recorder contract: with Options.Trace
 // unset the warm serving path keeps its steady-state allocation counts —
-// bfs stays exactly zero-alloc, the union-find and cas sessions stay at
-// their small fixed costs — on both backends, and Result.Trace stays nil.
+// bfs stays exactly zero-alloc, the union-find, cas, and frontier
+// sessions stay at their small fixed costs (for frontier that is the
+// hoisted closure set built once per solve, independent of graph size and
+// round count) — on both backends, and Result.Trace stays nil.
 func TestTraceAllocs(t *testing.T) {
 	if testing.Short() {
 		t.Skip("allocation counting is slow-ish")
@@ -26,6 +28,7 @@ func TestTraceAllocs(t *testing.T) {
 			{parcc.BFS, 0},
 			{parcc.UnionFind, 1},
 			{parcc.CASUnite, 3},
+			{parcc.Frontier, 14},
 		} {
 			s, err := parcc.NewSolver(&parcc.Options{Algorithm: tc.algo, Backend: be, Procs: 2, Seed: 3})
 			if err != nil {
@@ -79,7 +82,7 @@ func TestTraceAutoDispatchGolden(t *testing.T) {
 					be, f.Name, tr.Dispatch.Chosen, res.Algorithm, tr.Dispatch.Rule)
 			}
 			switch tr.Dispatch.Rule {
-			case "tiny", "dense", "skewed", "sparse":
+			case "tiny", "dense", "mesh", "skewed", "sparse":
 			default:
 				t.Errorf("%s/%s: unknown dispatch rule %q", be, f.Name, tr.Dispatch.Rule)
 			}
