@@ -57,6 +57,7 @@ func main() {
 		drain    = flag.Duration("drain", 15*time.Second, "graceful shutdown timeout for in-flight HTTP requests")
 		trace    = flag.Bool("trace", true, "record per-operation solve traces (GET /graphs/{name}/trace)")
 		pprofOn  = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ (trusted networks only)")
+		noForest = flag.Bool("no-forest", false, "disable spanning-forest deletion handling; every deletion takes the scoped re-solve (debugging / A-B measurement)")
 	)
 	var preloads []string
 	flag.Func("preload", "name=genspec graph to create at startup (repeatable), e.g. web=expander:n=65536,d=8", func(s string) error {
@@ -78,6 +79,7 @@ func main() {
 			Seed:       *seed,
 			TrustGraph: *trust,
 			Trace:      *trace,
+			NoForest:   *noForest,
 		},
 		CoalesceWindow: *window,
 		MaxBatchEdges:  *maxBatch,

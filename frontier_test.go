@@ -128,14 +128,16 @@ func TestFrontierFewerInspections(t *testing.T) {
 // re-solve of RemoveEdges both route through the frontier engine — and
 // asserts the partition and maintained count against the from-scratch
 // oracle after every step.  The traced AddEdges must record the batch's
-// touched endpoints as the repair's seeded frontier.
+// touched endpoints as the repair's seeded frontier.  NoForest pins the
+// scoped deletion machinery itself: with the forest on, these deletions
+// resolve through the replacement search and never reach it.
 func TestFrontierIncrementalPaths(t *testing.T) {
 	side := 128 // m = 2·side·(side−1) ≈ 2^15: past frontierIncMinEdges
 	base := gen.Grid(side, side)
 	if !frontierWorthwhile(base) {
 		t.Fatal("test graph must qualify for the frontier attach path")
 	}
-	s, err := NewSolver(&Options{Backend: BackendConcurrent, Procs: 4, Seed: 2, Trace: true})
+	s, err := NewSolver(&Options{Backend: BackendConcurrent, Procs: 4, Seed: 2, Trace: true, NoForest: true})
 	if err != nil {
 		t.Fatal(err)
 	}

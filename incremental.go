@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"parcc/internal/core"
+	"parcc/internal/dynconn"
 	"parcc/internal/graph"
 	"parcc/internal/obs"
 	"parcc/internal/par"
@@ -16,11 +17,17 @@ import (
 // the graph — AddEdges runs the batch through the lock-free CAS union-find
 // (internal/par Unite), O(|batch|·α) amortized work, parallel over the
 // batch on the session's runtime.  Deletions cannot be absorbed by a
-// union-find, so RemoveEdges marks the components its edges touched dirty
-// and re-solves only the subgraph they induce with the paper's full
-// CONNECTIVITY pipeline, splicing the scoped labels back into the live
-// forest.  Components/ComponentsInto re-query the live partition without
-// solving anything.
+// union-find, so RemoveEdges leans on the session's spanning forest
+// (internal/dynconn): a deleted non-forest edge is O(1) — the partition
+// cannot change — and a deleted forest edge runs a bounded smaller-side
+// replacement search that either promotes a crossing edge or relabels the
+// split-off side in place.  Only when a search blows its scan budget does
+// the session fall back to the legacy scoped repair: mark the component
+// dirty, re-solve the subgraph the dirty set induces with the paper's
+// full CONNECTIVITY pipeline, and splice the scoped labels back
+// (Options.NoForest forces this path for every deletion).
+// Components/ComponentsInto re-query the live partition without solving
+// anything.
 //
 // Liu–Tarjan's Simple Concurrent Connected Components Algorithms
 // (arXiv:1812.06177) supplies the union-find machinery; the FLS pipeline
@@ -39,6 +46,10 @@ type incSession struct {
 	// read-heavy query stream pays the O(n) Compress once per mutation,
 	// not once per query.
 	needsCompress bool
+	// forest is the spanning-forest dynamic connectivity state (nil when
+	// Options.NoForest): the per-edge forest flags AddEdges maintains and
+	// the replacement-search machinery RemoveEdges runs.
+	forest *dynconn.Tracker
 }
 
 // Attach binds the solver to a live graph and computes its initial
@@ -72,6 +83,7 @@ func (s *Solver) Attach(g *Graph) error {
 	e := s.casExec()
 	p := make([]int32, g.N)
 	var ncomp int
+	var fr *dynconn.Tracker
 	if frontierWorthwhile(g) {
 		// Mesh-like attach (low average degree, id-local edges): the
 		// frontier engine's asynchronous min-label propagation pays per
@@ -100,7 +112,15 @@ func (s *Solver) Attach(g *Graph) error {
 	} else {
 		span := rec.Begin()
 		e.Run(g.N, func(v int) { p[v] = int32(v) })
-		merges := par.UniteBatch(e, p, g.Edges)
+		var merges int
+		if s.opt.NoForest {
+			merges = par.UniteBatch(e, p, g.Edges)
+		} else {
+			// The same Unite pass, but reporting per-edge outcomes: the
+			// winning edges are exactly the initial spanning forest.
+			fr = dynconn.New()
+			merges = par.UniteBatchMark(e, p, g.Edges, fr.Marks(g.M()))
+		}
 		rec.Add(obs.CtrCASAttempts, int64(g.M()))
 		rec.Add(obs.CtrCASHooks, int64(merges))
 		span = rec.Lap(obs.PhaseUnite, span)
@@ -108,7 +128,23 @@ func (s *Solver) Attach(g *Graph) error {
 		rec.End(obs.PhaseCompress, span)
 		ncomp = g.N - merges
 	}
-	s.inc = &incSession{g: g, parent: p, ncomp: ncomp}
+	if !s.opt.NoForest {
+		// Index the live multiset and install the forest flags.  The fast
+		// attach paths label through kernels that do not report per-edge
+		// merge outcomes, so they derive the flags with a scratch
+		// union-find pass of their own; the plain path already has them.
+		span := rec.Begin()
+		if fr == nil {
+			fr = dynconn.New()
+			scratch := s.cx.Grab32(g.N)
+			fr.BuildScratch(e, g, scratch)
+			s.cx.Release32(scratch)
+		} else {
+			fr.Init(g)
+		}
+		rec.End(obs.PhaseUnite, span)
+	}
+	s.inc = &incSession{g: g, parent: p, ncomp: ncomp, forest: fr}
 	// Unpublish: a snapshot of the previous live graph must not answer for
 	// the new one.  The version counter keeps running, so a reader that
 	// kept the old pointer can still tell the views apart.
@@ -162,14 +198,26 @@ func (s *Solver) AddEdges(batch []Edge) error {
 	rec := s.rec
 	rec.Reset()
 	rec.Add(obs.CtrBatchEdges, int64(len(batch)))
-	inc.g.Edges = append(inc.g.Edges, batch...)
-	inc.batch++
 	// The cached plan (if it covers the live graph) is now a strict prefix;
 	// planFor extends it by delta on the next plan-consuming solve rather
 	// than rebuilding — nothing to do eagerly, and the insert path stays
 	// O(|batch|).
 	span := rec.Begin()
-	merges := par.UniteBatch(s.casExec(), inc.parent, batch)
+	var merges int
+	if fr := inc.forest; fr != nil {
+		// Unite first, then register each edge with its outcome: a winning
+		// edge united two components and joins the spanning forest, the
+		// rest (loops, duplicates, intra-component edges) are non-forest.
+		marks := fr.Marks(len(batch))
+		merges = par.UniteBatchMark(s.casExec(), inc.parent, batch, marks)
+		for i, ed := range batch {
+			fr.DF.Insert(ed, marks[i])
+		}
+	} else {
+		inc.g.Edges = append(inc.g.Edges, batch...)
+		merges = par.UniteBatch(s.casExec(), inc.parent, batch)
+	}
+	inc.batch++
 	rec.End(obs.PhaseUnite, span)
 	rec.Add(obs.CtrCASAttempts, int64(len(batch)))
 	rec.Add(obs.CtrCASHooks, int64(merges))
@@ -205,14 +253,20 @@ func (s *Solver) AddEdges(batch []Edge) error {
 
 // RemoveEdges deletes one occurrence per batch entry from the live graph
 // (either orientation of an undirected edge matches) and repairs the
-// partition.  A union-find cannot split, so deletions are the slow path:
-// the components touched by the batch are marked dirty and exactly the
-// subgraph they induce is re-solved with the paper's CONNECTIVITY pipeline
-// (charged O(m'+n') on that subgraph), then spliced back — components the
-// batch never touched are not looked at.  One O(m) sweep filters the edge
-// list itself.  A batch entry with no remaining occurrence is an error and
-// leaves the live state unchanged.  Removing only self-loops skips the
-// re-solve entirely (a loop never carries connectivity).
+// partition.  With the spanning forest maintained (the default), each
+// deletion resolves through the forest flags: a non-forest occurrence is
+// removed in O(1) — the partition provably cannot change — and a forest
+// occurrence runs a budget-bounded smaller-side replacement search
+// (par.ReplacementSearch) that either promotes a crossing edge into the
+// forest or relabels the split-off side in place.  Only a search that
+// blows its budget falls back to the legacy scoped repair: the component
+// is marked dirty, the subgraph the dirty set induces is re-solved with
+// the paper's CONNECTIVITY pipeline (charged O(m'+n') on that subgraph)
+// and spliced back, and the region's forest flags are re-derived.  With
+// Options.NoForest every deletion takes the scoped path, paying one O(m)
+// filter sweep plus the induced re-solve, as in the pre-forest sessions.
+// A batch entry with no remaining occurrence is an error and leaves the
+// live state unchanged.
 func (s *Solver) RemoveEdges(batch []Edge) error {
 	var start time.Time
 	if s.rec != nil {
@@ -226,6 +280,9 @@ func (s *Solver) RemoveEdges(batch []Edge) error {
 	}
 	if len(batch) == 0 {
 		return nil
+	}
+	if inc.forest != nil {
+		return s.removeEdgesForest(inc, batch, start)
 	}
 	n := inc.g.N
 	need := make(map[int64]int, len(batch))
@@ -345,6 +402,146 @@ func (s *Solver) RemoveEdges(batch []Edge) error {
 	inc.ncomp += subComps - dirtyCount
 	// The Compress above flattened the whole forest and the splice wrote a
 	// flat two-level region; queries need no further flatten.
+	inc.needsCompress = false
+	cx.Release32(vmap)
+	cx.Release32(dirty)
+	if rec != nil {
+		s.lastTrace = incTraceFromRecorder(rec, "remove-edges", time.Since(start))
+	}
+	return nil
+}
+
+// removeEdgesForest is the deletion path with spanning-forest maintenance
+// (inc.forest non-nil): validation is O(|batch|) through the DynForest key
+// index instead of the legacy O(m) sweep, and each deletion is handled by
+// dynconn.Tracker.Delete — O(1) for non-forest occurrences, a bounded
+// replacement search for forest ones.  Components whose search blew the
+// budget collect into the same scoped re-solve the legacy path runs,
+// followed by a forest-flag rebuild of the re-solved region.
+func (s *Solver) removeEdgesForest(inc *incSession, batch []Edge, start time.Time) error {
+	n := inc.g.N
+	fr := inc.forest
+	// Validation before any mutation: range check, then per-key occurrence
+	// counts against the live multiset (the key index answers "at least c
+	// copies?" in O(c)).
+	need := make(map[int64]int, len(batch))
+	for _, e := range batch {
+		if e.U < 0 || int(e.U) >= n || e.V < 0 || int(e.V) >= n {
+			return &EdgeRangeError{Edge: e, N: n}
+		}
+		need[e.CanonKey()]++
+	}
+	missing := 0
+	for k, c := range need {
+		if have := fr.DF.CountKey(k, c); have < c {
+			missing += c - have
+		}
+	}
+	if missing > 0 {
+		return &MissingEdgeError{Count: missing}
+	}
+
+	rec := s.rec
+	rec.Reset()
+	rec.Add(obs.CtrBatchEdges, int64(len(batch)))
+	span := rec.Begin()
+	e := s.casExec()
+	cx := s.cx
+	parent := inc.parent
+	if inc.needsCompress {
+		// Flat-parent invariant: the searches read roots directly and the
+		// split relabels write flat sides, so one flatten at entry (the one
+		// the query path would pay anyway) keeps the whole batch flat.
+		par.Compress(e, parent)
+		inc.needsCompress = false
+	}
+	dirty := cx.Grab32(n)
+	dirtyCount := 0
+	splits := 0
+	fa, fb := s.frontierPair(n)
+	span = rec.Lap(obs.PhaseExtract, span)
+	for _, ed := range batch {
+		dr := fr.Delete(parent, ed, fa, fb, func(root int32) bool { return dirty[root] != 0 })
+		rec.Add(obs.CtrReplaceScans, dr.Scanned)
+		switch dr.Kind {
+		case dynconn.DeleteNonForest:
+			rec.Add(obs.CtrNonForestDeletes, 1)
+		case dynconn.DeleteReplaced:
+			rec.Add(obs.CtrForestDeletes, 1)
+			rec.Add(obs.CtrReplacements, 1)
+		case dynconn.DeleteSplit:
+			rec.Add(obs.CtrForestDeletes, 1)
+			rec.Add(obs.CtrSplits, 1)
+			inc.ncomp++
+			splits++
+		case dynconn.DeleteBudget:
+			rec.Add(obs.CtrForestDeletes, 1)
+			rec.Add(obs.CtrBudgetFallbacks, 1)
+			if dirty[dr.Root] == 0 {
+				dirty[dr.Root] = 1
+				dirtyCount++
+			}
+		case dynconn.DeleteDirty:
+			// The component is already awaiting the scoped re-solve; only
+			// the occurrence was removed.
+			rec.Add(obs.CtrForestDeletes, 1)
+		}
+	}
+	span = rec.Lap(obs.PhaseReplace, span)
+	inc.batch++
+	if s.plan != nil && s.plan.G == inc.g {
+		s.plan = nil // removal invalidates the delta chain; force a rebuild
+	}
+	rec.Add(obs.CtrDirtyComponents, int64(splits+dirtyCount))
+	if dirtyCount == 0 {
+		cx.Release32(dirty)
+		if rec != nil {
+			rec.End(obs.PhaseExtract, span)
+			s.lastTrace = incTraceFromRecorder(rec, "remove-edges", time.Since(start))
+		}
+		return nil
+	}
+
+	// Budget-blown components: gather their vertices, re-solve the induced
+	// subgraph, splice — the legacy scoped repair, scoped to exactly the
+	// components the searches abandoned — then re-derive the region's
+	// forest flags (the only state the scoped labels do not fix).
+	sc := cx.Inc()
+	sc.Verts = sc.Verts[:0]
+	vmap := cx.Grab32(n)
+	for v := 0; v < n; v++ {
+		if dirty[parent[v]] != 0 {
+			vmap[v] = int32(len(sc.Verts)) + 1
+			sc.Verts = append(sc.Verts, int32(v))
+		}
+	}
+	sc.Sub = graph.InducedInto(inc.g, vmap, len(sc.Verts), sc.Sub)
+	rec.Add(obs.CtrScopedVertices, int64(sc.Sub.N))
+	rec.Add(obs.CtrScopedEdges, int64(sc.Sub.M()))
+	span = rec.Lap(obs.PhaseExtract, span)
+	var subLabels []int32
+	var subComps int
+	if frontierWorthwhile(sc.Sub) {
+		csr := graph.BuildCSROn(e, sc.Sub)
+		subLabels, subComps = s.frontierLabelsInto(e, sc.Sub, csr, sc.SubLabels)
+	} else if sampleWorthwhile(sc.Sub) {
+		csr := graph.BuildCSROn(e, sc.Sub)
+		subLabels, subComps = s.sampleLabelsInto(e, sc.Sub, csr, sc.SubLabels)
+	} else {
+		s.m.Reset()
+		r := core.ConnectivityScoped(cx, sc.Sub, s.seed^(inc.batch*0x9e3779b97f4a7c15), sc.SubLabels)
+		subLabels, subComps = r.Labels, r.NumComponents
+	}
+	sc.SubLabels = subLabels
+	span = rec.Lap(obs.PhaseScoped, span)
+	par.SpliceLabels(e, parent, sc.Verts, subLabels)
+	uf := cx.Grab32(len(sc.Verts))
+	fr.RebuildRegion(sc.Verts, vmap, uf)
+	cx.Release32(uf)
+	rec.End(obs.PhaseSplice, span)
+	inc.ncomp += subComps - dirtyCount
+	// Entry Compress + flat splices/splits: queries need no further
+	// flatten.
 	inc.needsCompress = false
 	cx.Release32(vmap)
 	cx.Release32(dirty)

@@ -172,6 +172,10 @@ func TestIncrementalErrors(t *testing.T) {
 // independent union-find reimplementation of the multiset semantics), and
 // the cold solve of the oracle's graph must match the live partition
 // exactly (partition equality; component count is compared exactly).
+// After every batch the session's maintained spanning forest must also be
+// a valid certificate of the live graph — acyclic, spanning each
+// component exactly, forest edges ⊆ live edges (dynconn.Tracker.Check) —
+// the property the whole deletion fast path rests on.
 func TestIncrementalRandomizedVsScratch(t *testing.T) {
 	const batchesPerCase = 25
 	for name, g0 := range familyGraphs() {
@@ -234,6 +238,9 @@ func TestIncrementalRandomizedVsScratch(t *testing.T) {
 				}
 				if wantN := graph.NumLabels(want); res.NumComponents != wantN {
 					t.Fatalf("%s/%s batch %d: count %d, want %d", name, be, b, res.NumComponents, wantN)
+				}
+				if err := s.inc.forest.Check(s.inc.g, res.Labels); err != nil {
+					t.Fatalf("%s/%s batch %d: forest invariant: %v", name, be, b, err)
 				}
 			}
 			s.Close()

@@ -19,7 +19,9 @@ import (
 // O(m+n), so the speedup grows linearly with graph size (the acceptance
 // bar is ≥5× at n = 2^16, i.e. -scale full).  Mixed and delete-heavy
 // streams show the scoped re-solve: deletions re-run the FLS pipeline on
-// the dirty components only.
+// the dirty components only.  The fourth, delete-dominated family measures
+// the spanning-forest deletion path against the scoped re-solve itself
+// (Options.NoForest), with a ≥10× acceptance verdict in the table notes.
 func INCIncrementalUpdates(c Config) *Table {
 	n, batches, batchSize := 1<<12, 12, 128
 	if c.Scale == Full {
@@ -161,5 +163,76 @@ func INCIncrementalUpdates(c Config) *Table {
 	t.Note("the cold side re-solves the full mutated graph with the session's default " +
 		"algorithm (FLS); the incremental side folds inserts into the live CAS union-find " +
 		"and scoped-re-solves only dirty components on deletes.")
+
+	// Delete-dominated family: the spanning-forest acceptance experiment.
+	// A dense GNM graph (one giant component) takes a stream of small
+	// delete-only batches.  Nearly every deleted edge is non-forest, so the
+	// forest path retires it in O(1); the baseline is the SAME live session
+	// with forest maintenance disabled (Options.NoForest), whose scoped
+	// re-solve must re-run the pipeline over the giant dirty component on
+	// every batch.  The cold column holds that scoped baseline.
+	{
+		dn, dm, dbatches, dsize := 1<<12, 8<<12, 24, 16
+		if c.Scale == Full {
+			dn, dm, dbatches, dsize = 1<<16, 8<<16, 32, 32
+		}
+		base := gen.GNM(dn, dm, c.seed()+7)
+		rng := rand.New(rand.NewSource(int64(c.seed()) + 99))
+		sim := baseline.NewIncOracle(base)
+		steps := make([][]graph.Edge, dbatches)
+		for i := range steps {
+			live := sim.Graph()
+			b := make([]graph.Edge, 0, dsize)
+			for _, j := range rng.Perm(live.M())[:dsize] {
+				b = append(b, live.Edges[j])
+			}
+			steps[i] = b
+			if err := sim.RemoveEdges(b); err != nil {
+				panic(err)
+			}
+		}
+
+		run := func(noForest bool) (time.Duration, int) {
+			o := *opts
+			o.NoForest = noForest
+			s, err := parcc.NewSolver(&o)
+			if err != nil {
+				panic(err)
+			}
+			defer s.Close()
+			if err := s.Attach(base.Clone()); err != nil {
+				panic(err)
+			}
+			res := &parcc.Result{}
+			t0 := time.Now()
+			for _, b := range steps {
+				if err := s.RemoveEdges(b); err != nil {
+					panic(err)
+				}
+				if err := s.ComponentsInto(res); err != nil {
+					panic(err)
+				}
+			}
+			return time.Since(t0), res.NumComponents
+		}
+		forestWall, forestComps := run(false)
+		scopedWall, scopedComps := run(true)
+		if forestComps != scopedComps {
+			panic("INC: forest and scoped component counts diverged")
+		}
+		sp := ratio(scopedWall.Seconds(), forestWall.Seconds())
+		t.Add("delete-dominated", dn, dm, dbatches, dsize,
+			forestWall.Seconds()*1000/float64(dbatches),
+			scopedWall.Seconds()*1000/float64(dbatches),
+			sp)
+		verdict := "FAIL"
+		if sp >= 10 {
+			verdict = "PASS"
+		}
+		t.Note("delete-dominated row: small delete-only batches on a dense GNM (m=8n) giant "+
+			"component; the baseline (cold column) is the same live session with "+
+			"Options.NoForest, i.e. every deletion takes the scoped re-solve.  "+
+			"acceptance bar ≥10x over the scoped path: %s (%.3gx).", verdict, sp)
+	}
 	return t
 }

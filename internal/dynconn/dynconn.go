@@ -1,0 +1,239 @@
+// Package dynconn is the spanning-forest dynamic connectivity layer of
+// the live incremental session: it grows the static forest representation
+// of internal/graph.Certificate into a mutable, session-owned structure
+// that lets deletions avoid the scoped re-solve in the common case.
+//
+// The session maintains, per component, a spanning forest over the live
+// multiset: every edge is flagged forest (it united two components when
+// it arrived) or non-forest (it closed a cycle).  Deleting a non-forest
+// edge cannot change the partition — O(1), no graph traversal at all.
+// Deleting a forest edge runs a replacement-edge search
+// (par.ReplacementSearch): a smaller-side BFS over the broken tree's two
+// halves that either promotes a crossing non-forest edge into the forest
+// (partition unchanged) or proves the split and relabels the smaller
+// side.  Only when the search's scan budget blows does the session fall
+// back to the legacy scoped re-solve, after which RebuildRegion restores
+// the forest flags of the re-solved region.
+//
+// The structure is exactly a certificate kept incrementally: acyclic,
+// spanning each component, forest edges ⊆ live edges — Check asserts all
+// three, and the randomized session tests run it after every batch.
+package dynconn
+
+import (
+	"fmt"
+
+	"parcc/internal/graph"
+	"parcc/internal/par"
+)
+
+// BudgetFloor is the minimum adjacency-scan budget of a replacement
+// search, below the m/4 proportional term.  A variable so tests can force
+// the budget-blow fallback on small graphs.
+var BudgetFloor int64 = 1024
+
+// Tracker owns the session's forest state: the DynForest edge store over
+// the live graph and a reusable per-batch mark buffer.  Orchestrator-owned
+// (the Solver's session lock), like everything it wraps.
+type Tracker struct {
+	DF    *graph.DynForest
+	marks []bool
+}
+
+// New returns an empty Tracker; call BuildScratch (or Marks + Init) to
+// bind it to a graph.
+func New() *Tracker { return &Tracker{} }
+
+// Marks returns the tracker's mark buffer resized to n — the target of a
+// par.UniteBatchMark whose outcome Init or the insert path consumes.
+func (t *Tracker) Marks(n int) []bool {
+	if cap(t.marks) < n {
+		t.marks = make([]bool, n)
+	}
+	t.marks = t.marks[:n]
+	return t.marks
+}
+
+// Init indexes g and installs the current mark buffer as the forest flags
+// (marks[i] applies to edge position i — the attach paths fill it with a
+// UniteBatchMark pass over g.Edges).
+func (t *Tracker) Init(g *graph.Graph) {
+	t.DF = graph.NewDynForest(g)
+	t.DF.SetForestAll(t.marks)
+}
+
+// BuildScratch derives the forest flags with the tracker's own union-find
+// pass over scratch (len ≥ g.N, contents ignored) and indexes g — the
+// attach path for branches whose labeling ran a kernel that does not
+// report per-edge merge outcomes (the sampling and frontier fast paths).
+func (t *Tracker) BuildScratch(e par.Exec, g *graph.Graph, scratch []int32) {
+	p := scratch[:g.N]
+	e.Run(g.N, func(v int) { p[v] = int32(v) })
+	par.UniteBatchMark(e, p, g.Edges, t.Marks(g.M()))
+	t.Init(g)
+}
+
+// DeleteKind classifies one deletion's handling.
+type DeleteKind uint8
+
+const (
+	// DeleteNonForest: the removed occurrence was a non-forest edge (or a
+	// self-loop) — the partition is untouched, O(1).
+	DeleteNonForest DeleteKind = iota
+	// DeleteReplaced: a forest edge fell but a replacement crossing edge
+	// was promoted — the partition is untouched.
+	DeleteReplaced
+	// DeleteSplit: the component truly split; the smaller side was
+	// relabeled to Result.NewRoot in place.
+	DeleteSplit
+	// DeleteBudget: the replacement search blew its budget; the caller
+	// must mark the component dirty and fall back to the scoped re-solve.
+	DeleteBudget
+	// DeleteDirty: the edge lived in a component already marked dirty this
+	// batch — only the occurrence was removed (its forest state is pending
+	// the region rebuild, so no search is sound there).
+	DeleteDirty
+)
+
+// DeleteResult reports one Delete.
+type DeleteResult struct {
+	Kind    DeleteKind
+	Root    int32 // the edge's component root before the delete
+	NewRoot int32 // new root of the relabeled side (DeleteSplit)
+	Moved   int   // vertices relabeled (DeleteSplit)
+	Scanned int64 // replacement-search adjacency entries inspected
+}
+
+// Delete removes one occurrence of ed (either orientation; the caller has
+// validated existence) and repairs the forest.  p must be flat for the
+// affected component; fa/fb are the session's empty frontier pair (left
+// empty).  dirty reports whether a component root is already awaiting the
+// scoped fallback — deletes there skip all forest reasoning.
+func (t *Tracker) Delete(p []int32, ed graph.Edge, fa, fb *par.Frontier, dirty func(root int32) bool) DeleteResult {
+	df := t.DF
+	h := df.PickRemovable(ed.CanonKey())
+	u, v := df.U(h), df.V(h)
+	wasForest := df.IsForest(h)
+	df.Remove(h)
+	res := DeleteResult{Root: p[u]}
+	if u == v || !wasForest {
+		res.Kind = DeleteNonForest
+		return res
+	}
+	if dirty(res.Root) {
+		res.Kind = DeleteDirty
+		return res
+	}
+	sr := par.ReplacementSearch(df, p, u, v, fa, fb, t.Budget())
+	res.Scanned = sr.Scanned
+	switch sr.Outcome {
+	case par.ReplaceFound:
+		df.SetForest(sr.Handle, true)
+		res.Kind = DeleteReplaced
+	case par.ReplaceSplit:
+		res.Kind = DeleteSplit
+		res.NewRoot = sr.NewRoot
+		res.Moved = sr.Moved
+	default:
+		res.Kind = DeleteBudget
+	}
+	return res
+}
+
+// Budget is the replacement search's adjacency-scan allowance: a quarter
+// of the live edge count, floored by BudgetFloor.  Proportional so a
+// search never costs more than the O(m) order of the fallback it guards.
+func (t *Tracker) Budget() int64 {
+	b := int64(t.DF.M()) / 4
+	if b < BudgetFloor {
+		b = BudgetFloor
+	}
+	return b
+}
+
+// RebuildRegion recomputes the forest flags of a re-solved region after a
+// scoped fallback: verts are the region's vertices, vmap the compact map
+// used for the induced solve (vmap[v] = compact id + 1, 0 outside), and
+// uf a scratch array of len ≥ len(verts).  A sequential union-find pass
+// over the region's edges re-derives the flags — every edge incident to a
+// region vertex has both endpoints in the region (dirty components are
+// closed under adjacency), and iterating side-0 handles only visits each
+// exactly once.  O(region vertices + region edges · α).
+func (t *Tracker) RebuildRegion(verts, vmap, uf []int32) {
+	df := t.DF
+	for i := range verts {
+		uf[i] = int32(i)
+	}
+	for _, gv := range verts {
+		for h := df.First(gv); h >= 0; h = df.NextIncident(gv, h) {
+			if df.U(h) != gv {
+				continue // side-1 visit; counted from the u endpoint
+			}
+			cu, cv := vmap[df.U(h)]-1, vmap[df.V(h)]-1
+			df.SetForest(h, cu != cv && seqUnite(uf, cu, cv))
+		}
+	}
+}
+
+// Check asserts the maintained forest is a valid spanning forest of the
+// live graph whose partition is labels: forest edges are loop-free and
+// acyclic, and the partition they induce equals labels exactly — together
+// with forest ⊆ live (structural: flags live on handles) this is the
+// certificate invariant.  Test-only; O(n + m·α).
+func (t *Tracker) Check(g *graph.Graph, labels []int32) error {
+	df := t.DF
+	if df.M() != len(g.Edges) {
+		return fmt.Errorf("dynconn: store tracks %d edges, graph holds %d", df.M(), len(g.Edges))
+	}
+	uf := make([]int32, g.N)
+	for i := range uf {
+		uf[i] = int32(i)
+	}
+	for i, ed := range g.Edges {
+		h := df.HandleAt(i)
+		if df.U(h) != ed.U || df.V(h) != ed.V {
+			return fmt.Errorf("dynconn: handle %d holds {%d,%d}, position %d holds {%d,%d}",
+				h, df.U(h), df.V(h), i, ed.U, ed.V)
+		}
+		if !df.IsForest(h) {
+			continue
+		}
+		if ed.U == ed.V {
+			return fmt.Errorf("dynconn: self-loop {%d,%d} flagged as forest edge", ed.U, ed.V)
+		}
+		if !seqUnite(uf, ed.U, ed.V) {
+			return fmt.Errorf("dynconn: forest edge {%d,%d} closes a cycle", ed.U, ed.V)
+		}
+	}
+	forestLabels := make([]int32, g.N)
+	for v := range forestLabels {
+		forestLabels[v] = seqFind(uf, int32(v))
+	}
+	if !graph.SamePartition(forestLabels, labels) {
+		return fmt.Errorf("dynconn: forest partition disagrees with live labels (forest under- or over-spans)")
+	}
+	return nil
+}
+
+// seqFind / seqUnite are the sequential union-find helpers of the rebuild
+// and checker paths (path halving; union by minimum is unnecessary here).
+func seqFind(p []int32, v int32) int32 {
+	for p[v] != v {
+		p[v] = p[p[v]]
+		v = p[v]
+	}
+	return v
+}
+
+func seqUnite(p []int32, a, b int32) bool {
+	ra, rb := seqFind(p, a), seqFind(p, b)
+	if ra == rb {
+		return false
+	}
+	if ra < rb {
+		p[rb] = ra
+	} else {
+		p[ra] = rb
+	}
+	return true
+}

@@ -1,0 +1,260 @@
+package graph
+
+// DynForest is the mutable edge store behind the spanning-forest dynamic
+// connectivity of the live session (internal/dynconn): it owns the
+// adjacency, multiset, and forest-flag views of a Graph whose edge list
+// the incremental API mutates in place.  Three access paths, all O(1) or
+// O(1) amortized:
+//
+//   - per-vertex incident-edge iteration (First/NextIncident), the walk
+//     the replacement-edge search runs — a doubly-linked handle list per
+//     endpoint, so Remove unlinks in O(1);
+//   - multiset lookup by canonical key (CountKey/PickRemovable), the
+//     deletion contract's "one occurrence per batch entry, either
+//     orientation" resolved without the legacy O(m) sweep — a singly
+//     linked chain per CanonKey;
+//   - positional identity with g.Edges (pos/byPos), kept exact under
+//     swap-remove so the Graph the rest of the stack sees (plan builds,
+//     scoped re-solves, snapshots) is always the live multiset.  Removal
+//     permutes the edge order, which nothing downstream depends on — the
+//     session invalidates its cached plan on every removal anyway.
+//
+// Handles are stable int32 ids recycled through a free list; the store
+// supports m < 2^31 edges, like the rest of the int32-indexed stack.
+// DynForest is orchestrator-owned (the Solver's session lock): no method
+// is safe for concurrent use.
+type DynForest struct {
+	g    *Graph
+	head []int32 // per-vertex adjacency head handle, -1 when empty
+
+	// Per-handle storage.  Side 0 is the adjacency list at u[h], side 1
+	// the list at v[h]; a self-loop is linked on side 0 only.
+	u, v    []int32
+	next    [][2]int32
+	prev    [][2]int32
+	keyNext []int32 // CanonKey chain
+	forest  []bool  // h is a spanning-forest edge
+	pos     []int32 // handle -> index in g.Edges
+
+	byPos   []int32 // index in g.Edges -> handle
+	keyHead map[int64]int32
+	free    []int32
+}
+
+// NewDynForest indexes g's current edge list; handle i starts as edge
+// position i (the identity SetForestAll relies on).  All forest flags
+// start false.  The store takes over g.Edges: mutate it only through
+// Insert/Remove afterwards.
+func NewDynForest(g *Graph) *DynForest {
+	m := len(g.Edges)
+	df := &DynForest{
+		g:       g,
+		head:    make([]int32, g.N),
+		u:       make([]int32, m),
+		v:       make([]int32, m),
+		next:    make([][2]int32, m),
+		prev:    make([][2]int32, m),
+		keyNext: make([]int32, m),
+		forest:  make([]bool, m),
+		pos:     make([]int32, m),
+		byPos:   make([]int32, m),
+		keyHead: make(map[int64]int32, m),
+	}
+	for i := range df.head {
+		df.head[i] = -1
+	}
+	for i, e := range g.Edges {
+		h := int32(i)
+		df.u[h], df.v[h] = e.U, e.V
+		df.pos[h] = h
+		df.byPos[i] = h
+		df.link(h)
+	}
+	return df
+}
+
+// SetForestAll installs the initial forest flags: marks[i] applies to the
+// edge at position i.  Valid only immediately after NewDynForest (handles
+// equal positions).
+func (df *DynForest) SetForestAll(marks []bool) {
+	copy(df.forest, marks[:len(df.byPos)])
+}
+
+// M returns the number of live edges.
+func (df *DynForest) M() int { return len(df.byPos) }
+
+// U, V, IsForest read handle h's endpoints and forest flag.
+func (df *DynForest) U(h int32) int32       { return df.u[h] }
+func (df *DynForest) V(h int32) int32       { return df.v[h] }
+func (df *DynForest) IsForest(h int32) bool { return df.forest[h] }
+
+// SetForest sets handle h's forest flag.
+func (df *DynForest) SetForest(h int32, b bool) { df.forest[h] = b }
+
+// Other returns the endpoint of h opposite x (x itself for a self-loop).
+func (df *DynForest) Other(h, x int32) int32 {
+	if df.u[h] == x {
+		return df.v[h]
+	}
+	return df.u[h]
+}
+
+// First returns the first incident handle of x (-1 when none).
+func (df *DynForest) First(x int32) int32 { return df.head[x] }
+
+// NextIncident returns the handle after h in x's incidence list (-1 at the
+// end).  h must be incident to x.
+func (df *DynForest) NextIncident(x, h int32) int32 {
+	return df.next[h][df.sideOf(h, x)]
+}
+
+// HandleAt returns the handle of the edge at position i of g.Edges.
+func (df *DynForest) HandleAt(i int) int32 { return df.byPos[i] }
+
+// CountKey returns the number of live occurrences of the canonical key k,
+// counting at most max (the validation pass only needs "enough").
+func (df *DynForest) CountKey(k int64, max int) int {
+	c := 0
+	h, ok := df.keyHead[k]
+	for ok && c < max {
+		c++
+		if h = df.keyNext[h]; h < 0 {
+			break
+		}
+	}
+	if !ok {
+		return 0
+	}
+	return c
+}
+
+// PickRemovable returns a live handle with canonical key k, preferring a
+// non-forest occurrence — removing a parallel copy must never disturb the
+// forest, and the acyclicity invariant (at most one forest copy per key)
+// makes any non-forest pick safe.  Returns -1 when the key is absent.
+func (df *DynForest) PickRemovable(k int64) int32 {
+	h, ok := df.keyHead[k]
+	if !ok {
+		return -1
+	}
+	first := h
+	for h >= 0 {
+		if !df.forest[h] {
+			return h
+		}
+		h = df.keyNext[h]
+	}
+	return first
+}
+
+// Insert appends e to g.Edges and registers it, returning its handle.
+func (df *DynForest) Insert(e Edge, forest bool) int32 {
+	var h int32
+	if n := len(df.free); n > 0 {
+		h = df.free[n-1]
+		df.free = df.free[:n-1]
+		df.u[h], df.v[h] = e.U, e.V
+		df.forest[h] = forest
+	} else {
+		h = int32(len(df.u))
+		df.u = append(df.u, e.U)
+		df.v = append(df.v, e.V)
+		df.next = append(df.next, [2]int32{})
+		df.prev = append(df.prev, [2]int32{})
+		df.keyNext = append(df.keyNext, -1)
+		df.forest = append(df.forest, forest)
+		df.pos = append(df.pos, 0)
+	}
+	df.pos[h] = int32(len(df.g.Edges))
+	df.g.Edges = append(df.g.Edges, e)
+	df.byPos = append(df.byPos, h)
+	df.link(h)
+	return h
+}
+
+// Remove deletes handle h: unlinks both adjacency sides and the key chain,
+// swap-removes its g.Edges slot (patching the moved edge's position), and
+// recycles the handle.
+func (df *DynForest) Remove(h int32) {
+	x, y := df.u[h], df.v[h]
+	df.detach(h, 0, x)
+	if y != x {
+		df.detach(h, 1, y)
+	}
+	df.keyUnlink(h, Edge{U: x, V: y}.CanonKey())
+	p := int(df.pos[h])
+	last := len(df.g.Edges) - 1
+	if p != last {
+		moved := df.byPos[last]
+		df.g.Edges[p] = df.g.Edges[last]
+		df.pos[moved] = int32(p)
+		df.byPos[p] = moved
+	}
+	df.g.Edges = df.g.Edges[:last]
+	df.byPos = df.byPos[:last]
+	df.free = append(df.free, h)
+}
+
+// sideOf returns the side of h anchored at x: 0 iff x is h's u endpoint
+// (self-loops live on side 0 only, matching this test).
+func (df *DynForest) sideOf(h, x int32) int {
+	if df.u[h] == x {
+		return 0
+	}
+	return 1
+}
+
+func (df *DynForest) link(h int32) {
+	x, y := df.u[h], df.v[h]
+	df.attach(h, 0, x)
+	if y != x {
+		df.attach(h, 1, y)
+	} else {
+		df.next[h][1], df.prev[h][1] = -1, -1
+	}
+	k := Edge{U: x, V: y}.CanonKey()
+	if old, ok := df.keyHead[k]; ok {
+		df.keyNext[h] = old
+	} else {
+		df.keyNext[h] = -1
+	}
+	df.keyHead[k] = h
+}
+
+func (df *DynForest) attach(h int32, side int, x int32) {
+	nh := df.head[x]
+	df.next[h][side] = nh
+	df.prev[h][side] = -1
+	if nh >= 0 {
+		df.prev[nh][df.sideOf(nh, x)] = h
+	}
+	df.head[x] = h
+}
+
+func (df *DynForest) detach(h int32, side int, x int32) {
+	nh, ph := df.next[h][side], df.prev[h][side]
+	if ph >= 0 {
+		df.next[ph][df.sideOf(ph, x)] = nh
+	} else {
+		df.head[x] = nh
+	}
+	if nh >= 0 {
+		df.prev[nh][df.sideOf(nh, x)] = ph
+	}
+}
+
+func (df *DynForest) keyUnlink(h int32, k int64) {
+	cur := df.keyHead[k]
+	if cur == h {
+		if nx := df.keyNext[h]; nx >= 0 {
+			df.keyHead[k] = nx
+		} else {
+			delete(df.keyHead, k)
+		}
+		return
+	}
+	for df.keyNext[cur] != h {
+		cur = df.keyNext[cur]
+	}
+	df.keyNext[cur] = df.keyNext[h]
+}

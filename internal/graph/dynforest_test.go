@@ -1,0 +1,125 @@
+package graph
+
+import (
+	"testing"
+)
+
+// edgeCounts snapshots a multiset of edges by canonical key.
+func edgeCounts(edges []Edge) map[int64]int {
+	m := make(map[int64]int, len(edges))
+	for _, e := range edges {
+		m[e.CanonKey()]++
+	}
+	return m
+}
+
+// incidentKeys walks x's incidence list and returns the canonical keys
+// seen, asserting the store's own endpoints along the way.
+func incidentKeys(t *testing.T, df *DynForest, x int32) map[int64]int {
+	t.Helper()
+	ks := map[int64]int{}
+	for h := df.First(x); h >= 0; h = df.NextIncident(x, h) {
+		if df.U(h) != x && df.V(h) != x {
+			t.Fatalf("handle %d in vertex %d's list has endpoints {%d,%d}", h, x, df.U(h), df.V(h))
+		}
+		ks[Edge{U: df.U(h), V: df.V(h)}.CanonKey()]++
+	}
+	return ks
+}
+
+func TestDynForestIndexAndIterate(t *testing.T) {
+	g := FromPairs(5, [][2]int{{0, 1}, {1, 2}, {2, 1}, {3, 3}, {0, 4}})
+	df := NewDynForest(g)
+	if df.M() != 5 {
+		t.Fatalf("M = %d, want 5", df.M())
+	}
+	// Vertex 1 sees {0,1} once and both copies of {1,2}.
+	ks := incidentKeys(t, df, 1)
+	if ks[Edge{U: 0, V: 1}.CanonKey()] != 1 || ks[Edge{U: 1, V: 2}.CanonKey()] != 2 {
+		t.Fatalf("vertex 1 incidence = %v", ks)
+	}
+	// The self-loop appears exactly once in vertex 3's list.
+	if ks := incidentKeys(t, df, 3); ks[Edge{U: 3, V: 3}.CanonKey()] != 1 || len(ks) != 1 {
+		t.Fatalf("vertex 3 incidence = %v", ks)
+	}
+	if got := df.CountKey(Edge{U: 2, V: 1}.CanonKey(), 8); got != 2 {
+		t.Fatalf("CountKey({1,2}) = %d, want 2 (orientation-insensitive)", got)
+	}
+	if got := df.CountKey(Edge{U: 0, V: 3}.CanonKey(), 8); got != 0 {
+		t.Fatalf("CountKey(absent) = %d, want 0", got)
+	}
+}
+
+func TestDynForestRemoveSwapKeepsPositions(t *testing.T) {
+	g := FromPairs(6, [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 5}})
+	df := NewDynForest(g)
+	want := edgeCounts(g.Edges)
+	// Remove from the middle: the last edge is swapped into the hole.
+	h := df.PickRemovable(Edge{U: 1, V: 2}.CanonKey())
+	df.Remove(h)
+	delete(want, Edge{U: 1, V: 2}.CanonKey())
+	if len(g.Edges) != 4 {
+		t.Fatalf("m = %d after remove, want 4", len(g.Edges))
+	}
+	got := edgeCounts(g.Edges)
+	for k, c := range want {
+		if got[k] != c {
+			t.Fatalf("edge multiset diverged after swap-remove: got %v want %v", got, want)
+		}
+	}
+	// Positional identity: every position maps to a handle holding that
+	// exact edge.
+	for i, e := range g.Edges {
+		h := df.HandleAt(i)
+		if df.U(h) != e.U || df.V(h) != e.V {
+			t.Fatalf("position %d: handle %d holds {%d,%d}, g.Edges holds {%d,%d}",
+				i, h, df.U(h), df.V(h), e.U, e.V)
+		}
+	}
+	// The removed edge left every incidence list.
+	for _, x := range []int32{1, 2} {
+		if ks := incidentKeys(t, df, x); ks[Edge{U: 1, V: 2}.CanonKey()] != 0 {
+			t.Fatalf("vertex %d still lists the removed edge", x)
+		}
+	}
+	// Handle recycling: the freed handle is reused and relinked.
+	nh := df.Insert(Edge{U: 5, V: 0}, false)
+	if nh != h {
+		t.Fatalf("Insert reused handle %d, want freed %d", nh, h)
+	}
+	if ks := incidentKeys(t, df, 5); ks[Edge{U: 0, V: 5}.CanonKey()] != 1 {
+		t.Fatal("recycled handle not linked at its new endpoints")
+	}
+	if len(g.Edges) != 5 || g.Edges[4] != (Edge{U: 5, V: 0}) {
+		t.Fatalf("Insert must append to g.Edges, got %v", g.Edges)
+	}
+}
+
+func TestDynForestPickRemovablePrefersNonForest(t *testing.T) {
+	g := FromPairs(2, [][2]int{{0, 1}, {0, 1}, {1, 0}})
+	df := NewDynForest(g)
+	df.SetForestAll([]bool{true, false, false})
+	k := Edge{U: 0, V: 1}.CanonKey()
+	h := df.PickRemovable(k)
+	if df.IsForest(h) {
+		t.Fatal("PickRemovable chose the forest copy while non-forest copies live")
+	}
+	df.Remove(h)
+	h = df.PickRemovable(k)
+	if df.IsForest(h) {
+		t.Fatal("PickRemovable chose the forest copy while a non-forest copy lives")
+	}
+	df.Remove(h)
+	// Only the forest copy remains: it must be returned now.
+	h = df.PickRemovable(k)
+	if h < 0 || !df.IsForest(h) {
+		t.Fatalf("last copy pick = %d (forest %v), want the forest handle", h, h >= 0 && df.IsForest(h))
+	}
+	df.Remove(h)
+	if df.PickRemovable(k) != -1 {
+		t.Fatal("PickRemovable on an exhausted key must return -1")
+	}
+	if df.M() != 0 || len(g.Edges) != 0 {
+		t.Fatalf("store not empty after removing every copy (m=%d)", df.M())
+	}
+}

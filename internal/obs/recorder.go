@@ -78,6 +78,9 @@ const (
 	PhaseScoped
 	// PhaseSplice is splicing scoped labels back into the live forest.
 	PhaseSplice
+	// PhaseReplace is the deletion path's replacement-edge searches (all
+	// of a batch's searches pooled, like the other stage loops).
+	PhaseReplace
 
 	// NumPhases bounds the enum; keep it last.
 	NumPhases
@@ -87,6 +90,7 @@ var phaseNames = [NumPhases]string{
 	"validate", "plan", "sample", "vote", "skip", "compress", "count",
 	"solve", "reduce", "presample", "interweave", "increase",
 	"sample-solve", "finish", "unite", "extract", "scoped", "splice",
+	"replace",
 }
 
 // String returns the phase's stable external name.
@@ -132,6 +136,25 @@ const (
 	// CtrFrontierSwitches counts dense↔sparse representation switches
 	// between consecutive frontier rounds.
 	CtrFrontierSwitches
+	// CtrForestDeletes counts deleted spanning-forest edges (each ran a
+	// replacement search unless its component was already dirty).
+	CtrForestDeletes
+	// CtrNonForestDeletes counts deleted non-forest edges and self-loops —
+	// the O(1) deletions that by construction never touch the partition.
+	CtrNonForestDeletes
+	// CtrReplacements counts replacement searches that promoted a crossing
+	// edge (the component stayed connected).
+	CtrReplacements
+	// CtrSplits counts deletions that truly split a component (the smaller
+	// side was relabeled in place).
+	CtrSplits
+	// CtrReplaceScans counts adjacency entries the replacement searches
+	// inspected — the smaller-side work measure, against the component
+	// sizes a scoped re-solve would have paid.
+	CtrReplaceScans
+	// CtrBudgetFallbacks counts replacement searches that blew their scan
+	// budget and handed the component to the scoped re-solve.
+	CtrBudgetFallbacks
 
 	// NumCounters bounds the enum; keep it last.
 	NumCounters
@@ -141,7 +164,8 @@ var counterNames = [NumCounters]string{
 	"cas_attempts", "cas_hooks", "fls_phases", "ltz_rounds",
 	"batch_edges", "dirty_components", "scoped_vertices", "scoped_edges",
 	"frontier_rounds", "frontier_inspected", "frontier_lowered",
-	"frontier_switches",
+	"frontier_switches", "forest_deletes", "non_forest_deletes",
+	"replacements", "splits", "replace_scans", "budget_fallbacks",
 }
 
 // String returns the counter's stable external name.

@@ -132,6 +132,17 @@ func (f *Frontier) At(i int) int32 {
 	return f.list[i]
 }
 
+// Has reports whether v is active — the membership probe of the
+// replacement-edge search, which uses a sparse-collected frontier as a
+// combined BFS queue (the list, walked by index) and visited set (the
+// bitmap).  The atomic load makes it safe alongside concurrent Adds.
+func (f *Frontier) Has(v int32) bool {
+	if f.full {
+		return true
+	}
+	return atomic.LoadInt64(&f.words[v>>6])&(1<<uint(v&63)) != 0
+}
+
 // BeginCollect readies an empty frontier to receive Adds: sparse selects
 // list collection (Len/At become valid), false bitmap-only.
 func (f *Frontier) BeginCollect(sparse bool) {

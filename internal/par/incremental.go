@@ -32,6 +32,28 @@ func UniteBatch(e Exec, p []int32, batch []graph.Edge) int {
 	return int(merges.Load())
 }
 
+// UniteBatchMark is UniteBatch reporting per-edge outcomes: marks[i] is
+// set true exactly when batch[i]'s Unite merged two distinct sets (false
+// for loops, duplicates, and lost races — every slot is written, so a
+// recycled buffer needs no clearing).  The marked subset is a valid
+// spanning-forest extension under any interleaving: each winning Unite
+// connected two components that were distinct at its linearization point,
+// so the marked edges are acyclic and span exactly what the batch merged —
+// the property the dynamic-connectivity layer (internal/dynconn) builds
+// its forest flags from.  Same contract and cost as UniteBatch otherwise.
+func UniteBatchMark(e Exec, p []int32, batch []graph.Edge, marks []bool) int {
+	var merges atomic.Int64
+	e.Run(len(batch), func(i int) {
+		ed := batch[i]
+		ok := ed.U != ed.V && Unite(p, ed.U, ed.V)
+		marks[i] = ok
+		if ok {
+			merges.Add(1)
+		}
+	})
+	return int(merges.Load())
+}
+
 // SpliceLabels installs a scoped re-solve's partition into the global
 // forest: for each selected vertex verts[i], the parent becomes the global
 // id of its sub-solve representative, p[verts[i]] = verts[sub[i]].  Because

@@ -1,0 +1,257 @@
+package service
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"math/rand"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"parcc"
+	"parcc/internal/baseline"
+	"parcc/internal/graph"
+	"parcc/internal/graph/gen"
+)
+
+// TestFuzzBatchEndpointVsOracle is the seeded, bounded fuzz harness over
+// ccserved's NDJSON batch endpoint: random op streams (adds, multiset
+// removes in either orientation, invalid removes, point queries) are
+// POSTed through a real HTTP round trip, and every resulting state is
+// refereed three ways —
+//
+//   - per response line: mutating lines report added/removed counts or the
+//     exact error passthrough; query lines must agree with the oracle's
+//     partition at that position in the stream (reads interleave with
+//     mutations line by line);
+//   - per request: the published snapshot's version must index the oracle
+//     history (one publish per successful mutating line, none for a failed
+//     remove) and its labels must be that exact historical partition;
+//   - continuously: a background reader verifies every snapshot version it
+//     observes against the history, the race-test pattern, so the delete
+//     fast path is exercised through the coalescing writer while reads are
+//     in flight.
+//
+// Seeded and bounded (a few hundred ops), so it is CI-friendly and
+// deterministic on the driver side; run under -race in CI.
+func TestFuzzBatchEndpointVsOracle(t *testing.T) {
+	const (
+		n        = 160
+		requests = 48
+		maxVers  = 512
+	)
+	base := gen.GNM(n, 240, 41)
+	e := New(Options{Solver: &parcc.Options{Backend: parcc.BackendConcurrent, Procs: 2}})
+	defer e.Close()
+	if err := e.Create("fz", base.Clone()); err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(NewHandler(e))
+	defer srv.Close()
+	client := srv.Client()
+
+	// history[v] is the oracle partition snapshot version v must carry.
+	// Create published version 1; each successful mutating line bumps it.
+	oracle := baseline.NewIncOracle(base)
+	var history [maxVers]atomic.Pointer[[]int32]
+	init := oracle.Labels()
+	history[1].Store(&init)
+	vers := uint64(1)
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			if i > 0 {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+			}
+			sn, err := e.Snapshot("fz")
+			if err != nil {
+				t.Errorf("background reader: %v", err)
+				return
+			}
+			v := sn.Version()
+			if v == 0 || v >= maxVers {
+				t.Errorf("background reader: version %d outside the history", v)
+				return
+			}
+			want := history[v].Load()
+			if want == nil {
+				t.Errorf("background reader: version %d visible before it was recorded", v)
+				return
+			}
+			if !graph.SamePartition(*want, sn.Labels()) {
+				t.Errorf("background reader: version %d is not its historical partition", v)
+				return
+			}
+		}
+	}()
+
+	// expect describes the assertion for one request line.
+	type expect struct {
+		key       string // response field that must be present
+		errWant   bool   // line must report {"error": ...}
+		connected *bool  // "connected" query: oracle's answer
+		size      *int   // "component" query: oracle's component size
+		count     *int   // "count" query: oracle's component count
+	}
+	intp := func(x int) *int { return &x }
+	boolp := func(b bool) *bool { return &b }
+
+	rng := rand.New(rand.NewSource(1003))
+	cur := init // oracle labels at the current stream position
+	for req := 0; req < requests; req++ {
+		var buf bytes.Buffer
+		enc := json.NewEncoder(&buf)
+		var exps []expect
+		for l, lines := 0, 1+rng.Intn(5); l < lines; l++ {
+			switch k := rng.Intn(10); {
+			case k < 3: // add: random endpoints, the odd self-loop/duplicate
+				cnt := 1 + rng.Intn(5)
+				edges := make([][2]int32, cnt)
+				batch := make([]graph.Edge, cnt)
+				for i := range edges {
+					u, v := int32(rng.Intn(n)), int32(rng.Intn(n))
+					if rng.Intn(8) == 0 {
+						v = u
+					}
+					edges[i] = [2]int32{u, v}
+					batch[i] = graph.Edge{U: u, V: v}
+				}
+				if err := oracle.AddEdges(batch); err != nil {
+					t.Fatal(err)
+				}
+				labels := oracle.Labels()
+				vers++
+				history[vers].Store(&labels)
+				cur = labels
+				enc.Encode(batchOp{Op: "add", Edges: edges})
+				exps = append(exps, expect{key: "added"})
+			case k < 7 && oracle.Graph().M() > 8: // remove live occurrences
+				live := oracle.Graph()
+				cnt := 1 + rng.Intn(4)
+				edges := make([][2]int32, 0, cnt+1)
+				batch := make([]graph.Edge, 0, cnt+1)
+				for _, j := range rng.Perm(live.M())[:cnt] {
+					ed := live.Edges[j]
+					if rng.Intn(2) == 0 {
+						ed.U, ed.V = ed.V, ed.U // either orientation
+					}
+					edges = append(edges, [2]int32{ed.U, ed.V})
+					batch = append(batch, ed)
+				}
+				if rng.Intn(4) == 0 {
+					// Ask for one more occurrence of some entry than the
+					// picks guarantee: valid only if the multiset still has a
+					// spare copy — the oracle decides which, below.
+					edges = append(edges, edges[0])
+					batch = append(batch, batch[0])
+				}
+				enc.Encode(batchOp{Op: "remove", Edges: edges})
+				if err := oracle.RemoveEdges(batch); err != nil {
+					exps = append(exps, expect{errWant: true})
+					break // oracle unchanged; engine must match
+				}
+				labels := oracle.Labels()
+				vers++
+				history[vers].Store(&labels)
+				cur = labels
+				exps = append(exps, expect{key: "removed"})
+			case k < 8: // connected query against the current stream state
+				u, v := rng.Intn(n), rng.Intn(n)
+				enc.Encode(batchOp{Op: "connected", U: intp(u), V: intp(v)})
+				exps = append(exps, expect{key: "connected", connected: boolp(cur[u] == cur[v])})
+			case k < 9: // component size query
+				u := rng.Intn(n)
+				size := 0
+				for _, l := range cur {
+					if l == cur[u] {
+						size++
+					}
+				}
+				enc.Encode(batchOp{Op: "component", U: intp(u)})
+				exps = append(exps, expect{key: "component", size: intp(size)})
+			default: // component count query
+				seen := map[int32]bool{}
+				for _, l := range cur {
+					seen[l] = true
+				}
+				enc.Encode(batchOp{Op: "count"})
+				exps = append(exps, expect{key: "components", count: intp(len(seen))})
+			}
+		}
+		if vers+8 >= maxVers {
+			t.Fatal("history capacity exceeded; shrink the fuzz bounds")
+		}
+
+		resp, err := client.Post(srv.URL+"/graphs/fz/batch", "application/x-ndjson", &buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sc := bufio.NewScanner(resp.Body)
+		got := 0
+		for sc.Scan() {
+			if got >= len(exps) {
+				t.Fatalf("request %d: more response lines than ops (%d)", req, got+1)
+			}
+			var line map[string]any
+			if err := json.Unmarshal(sc.Bytes(), &line); err != nil {
+				t.Fatalf("request %d line %d: bad JSON %q: %v", req, got, sc.Text(), err)
+			}
+			exp := exps[got]
+			_, hasErr := line["error"]
+			if exp.errWant != hasErr {
+				t.Fatalf("request %d line %d: error presence = %v, want %v (%v)", req, got, hasErr, exp.errWant, line)
+			}
+			if !exp.errWant {
+				val, ok := line[exp.key]
+				if !ok {
+					t.Fatalf("request %d line %d: missing %q in %v", req, got, exp.key, line)
+				}
+				if exp.connected != nil && val != *exp.connected {
+					t.Fatalf("request %d line %d: connected = %v, oracle says %v", req, got, val, *exp.connected)
+				}
+				if exp.size != nil {
+					if sz, _ := line["size"].(float64); int(sz) != *exp.size {
+						t.Fatalf("request %d line %d: component size = %v, oracle says %d", req, got, line["size"], *exp.size)
+					}
+				}
+				if exp.count != nil && int(val.(float64)) != *exp.count {
+					t.Fatalf("request %d line %d: count = %v, oracle says %d", req, got, val, *exp.count)
+				}
+			}
+			got++
+		}
+		resp.Body.Close()
+		if err := sc.Err(); err != nil {
+			t.Fatal(err)
+		}
+		if got != len(exps) {
+			t.Fatalf("request %d: %d response lines for %d ops", req, got, len(exps))
+		}
+
+		// The published snapshot after the request: exactly one version per
+		// successful mutating line (failed removes publish nothing), and its
+		// labels are the recorded historical partition.
+		sn, err := e.Snapshot("fz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sn.Version() != vers {
+			t.Fatalf("request %d: snapshot version %d, want %d", req, sn.Version(), vers)
+		}
+		if !graph.SamePartition(*history[vers].Load(), sn.Labels()) {
+			t.Fatalf("request %d: snapshot diverges from the oracle at version %d", req, vers)
+		}
+	}
+	close(stop)
+	wg.Wait()
+}

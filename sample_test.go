@@ -141,13 +141,15 @@ func TestSampleFallbackToFLS(t *testing.T) {
 // TestSampleIncrementalFastPaths drives Attach and a giant-component
 // deletion over a graph large and dense enough to route both through the
 // sampling fast path, asserting the partition and the maintained count
-// against the from-scratch oracle after every step.
+// against the from-scratch oracle after every step.  NoForest pins the
+// scoped deletion machinery itself: with the forest on, these deletions
+// resolve through the replacement search and never reach it.
 func TestSampleIncrementalFastPaths(t *testing.T) {
 	base := gen.GNM(1<<13, 1<<17, 9) // m ≥ sampleIncMinEdges, avg deg 32
 	if !sampleWorthwhile(base) {
 		t.Fatal("test graph must qualify for the sampling attach path")
 	}
-	s, err := NewSolver(&Options{Backend: BackendConcurrent, Procs: 4, Seed: 2})
+	s, err := NewSolver(&Options{Backend: BackendConcurrent, Procs: 4, Seed: 2, NoForest: true})
 	if err != nil {
 		t.Fatal(err)
 	}

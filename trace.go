@@ -123,6 +123,16 @@ type TraceIncremental struct {
 	// deletion path re-solved.
 	ScopedVertices int64 `json:"scoped_vertices,omitempty"`
 	ScopedEdges    int64 `json:"scoped_edges,omitempty"`
+	// Forest-path deletion counters (zero when Options.NoForest): deleted
+	// forest vs non-forest edges, replacement promotions, true splits,
+	// adjacency entries the searches scanned, and searches that blew the
+	// budget into the scoped fallback.
+	ForestDeletes    int64 `json:"forest_deletes,omitempty"`
+	NonForestDeletes int64 `json:"non_forest_deletes,omitempty"`
+	Replacements     int64 `json:"replacements,omitempty"`
+	Splits           int64 `json:"splits,omitempty"`
+	ReplaceScans     int64 `json:"replace_scans,omitempty"`
+	BudgetFallbacks  int64 `json:"budget_fallbacks,omitempty"`
 }
 
 // PhaseSum returns the sum of the phase wall times — with tracing on, the
@@ -208,6 +218,11 @@ func (t *Trace) WriteText(w io.Writer) {
 				inc.DirtyComponents, inc.ScopedVertices, inc.ScopedEdges)
 		}
 		fmt.Fprintln(w)
+		if inc.ForestDeletes+inc.NonForestDeletes > 0 {
+			fmt.Fprintf(w, "  forest: deletes=%d non-forest=%d replaced=%d splits=%d scans=%d fallbacks=%d\n",
+				inc.ForestDeletes, inc.NonForestDeletes, inc.Replacements,
+				inc.Splits, inc.ReplaceScans, inc.BudgetFallbacks)
+		}
 	}
 }
 
@@ -250,10 +265,16 @@ func traceFromRecorder(rec *obs.Recorder, op string, algo Algorithm, total time.
 func incTraceFromRecorder(rec *obs.Recorder, op string, total time.Duration) *Trace {
 	tr := traceFromRecorder(rec, op, Incremental, total)
 	tr.Incremental = &TraceIncremental{
-		BatchEdges:      rec.Count(obs.CtrBatchEdges),
-		DirtyComponents: rec.Count(obs.CtrDirtyComponents),
-		ScopedVertices:  rec.Count(obs.CtrScopedVertices),
-		ScopedEdges:     rec.Count(obs.CtrScopedEdges),
+		BatchEdges:       rec.Count(obs.CtrBatchEdges),
+		DirtyComponents:  rec.Count(obs.CtrDirtyComponents),
+		ScopedVertices:   rec.Count(obs.CtrScopedVertices),
+		ScopedEdges:      rec.Count(obs.CtrScopedEdges),
+		ForestDeletes:    rec.Count(obs.CtrForestDeletes),
+		NonForestDeletes: rec.Count(obs.CtrNonForestDeletes),
+		Replacements:     rec.Count(obs.CtrReplacements),
+		Splits:           rec.Count(obs.CtrSplits),
+		ReplaceScans:     rec.Count(obs.CtrReplaceScans),
+		BudgetFallbacks:  rec.Count(obs.CtrBudgetFallbacks),
 	}
 	return tr
 }
