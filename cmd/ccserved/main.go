@@ -21,9 +21,16 @@
 // the session's last solve-phase trace (-trace, on by default); -pprof
 // mounts net/http/pprof under /debug/pprof/ (off by default).
 //
-// On SIGINT/SIGTERM the server drains gracefully: in-flight HTTP requests
-// finish, queued mutation batches are applied, then every session is
-// released.
+// Durability: -wal-dir enables a per-graph write-ahead log — every applied
+// mutation group is logged and (by default) fsync'd before its callers are
+// released, and the logs are replayed on startup, reconstructing every
+// graph at its last durable state (-fsync=false trades that guarantee for
+// append latency; see docs/OPERATIONS.md §durability).
+//
+// On SIGINT/SIGTERM the server drains gracefully, in dependency order:
+// in-flight HTTP requests finish, queued mutation batches are applied
+// (each group logged and fsync'd as it lands), the WAL handles are closed,
+// then every session is released.
 package main
 
 import (
@@ -58,6 +65,8 @@ func main() {
 		trace    = flag.Bool("trace", true, "record per-operation solve traces (GET /graphs/{name}/trace)")
 		pprofOn  = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ (trusted networks only)")
 		noForest = flag.Bool("no-forest", false, "disable spanning-forest deletion handling; every deletion takes the scoped re-solve (debugging / A-B measurement)")
+		walDir   = flag.String("wal-dir", "", "write-ahead-log directory: every applied mutation group is logged there before callers are released, and the logs are replayed on startup (empty = durability off)")
+		fsync    = flag.Bool("fsync", true, "fsync the WAL after every coalesced group; -fsync=false trades crash durability for append latency")
 	)
 	var preloads []string
 	flag.Func("preload", "name=genspec graph to create at startup (repeatable), e.g. web=expander:n=65536,d=8", func(s string) error {
@@ -84,7 +93,21 @@ func main() {
 		CoalesceWindow: *window,
 		MaxBatchEdges:  *maxBatch,
 		QueueDepth:     *queue,
+		WALDir:         *walDir,
+		NoFsync:        !*fsync,
 	})
+
+	if *walDir != "" {
+		stats, err := eng.Recover()
+		if err != nil {
+			log.Fatalf("ccserved: recover: %v", err)
+		}
+		if stats.Graphs > 0 {
+			log.Printf("recovered %d graph(s) from %s: %d records, %d edges in %v (%.0f edges/s)",
+				stats.Graphs, *walDir, stats.Records, stats.Edges, stats.Elapsed.Round(time.Millisecond),
+				float64(stats.Edges)/stats.Elapsed.Seconds())
+		}
+	}
 
 	for _, p := range preloads {
 		name, spec, ok := strings.Cut(p, "=")
@@ -96,6 +119,12 @@ func main() {
 			log.Fatalf("ccserved: preload %q: %v", name, err)
 		}
 		if err := eng.Create(name, g); err != nil {
+			if errors.Is(err, service.ErrGraphExists) {
+				// Already reconstructed from its WAL — the recovered state
+				// is newer than the preload spec, keep it.
+				log.Printf("preload %q: recovered from WAL, keeping the replayed state", name)
+				continue
+			}
 			log.Fatalf("ccserved: preload %q: %v", name, err)
 		}
 		log.Printf("preloaded %q: n=%d m=%d", name, g.N, g.M())
@@ -119,6 +148,6 @@ func main() {
 	if err := srv.Shutdown(ctx); err != nil {
 		log.Printf("ccserved: forced shutdown: %v", err)
 	}
-	eng.Close() // applies queued mutation batches, then releases sessions
+	eng.Close() // applies+logs queued mutation batches, closes WALs, releases sessions
 	log.Printf("ccserved: drained")
 }

@@ -23,6 +23,13 @@ import (
 //	*MissingEdgeError — a RemoveEdges batch references more occurrences of
 //	                    some edge than the live multiset holds; the error
 //	                    carries the shortfall.
+//	ErrRecovering     — the serving layer is replaying its write-ahead log;
+//	                    the call should be retried once recovery finishes
+//	                    (mapped to HTTP 503 by internal/service).
+//	*WALCorruptionError — a write-ahead-log file failed to decode; the
+//	                    error carries the file, byte offset, reason, and
+//	                    whether the damage is a torn tail (tolerated on
+//	                    recovery) or mid-log corruption (fatal).
 //
 // All mutating calls fail without mutating: an error from AddEdges or
 // RemoveEdges leaves the live graph, the partition, and the published
@@ -70,4 +77,35 @@ type MissingEdgeError struct {
 
 func (e *MissingEdgeError) Error() string {
 	return fmt.Sprintf("parcc: remove batch includes %d edge occurrence(s) not in the live graph", e.Count)
+}
+
+// ErrRecovering reports a call rejected because the serving layer is
+// still replaying its write-ahead log.  Transient: retry after recovery.
+var ErrRecovering = errors.New("parcc: recovering from write-ahead log")
+
+// WALCorruptionError reports a write-ahead-log frame that failed to
+// decode.  Torn marks damage consistent with an interrupted final write
+// (a truncated length prefix or frame body): recovery tolerates exactly
+// that, truncating the log to the last whole record.  Any non-torn
+// corruption (checksum mismatch, impossible lengths, unknown record
+// kinds, a record the session rejects on replay) fails recovery instead —
+// a log that lies must never yield silent partial state.  Match with
+// errors.As.
+type WALCorruptionError struct {
+	Path   string // log file ("" when decoding a byte stream)
+	Offset int64  // byte offset of the offending frame
+	Reason string
+	Torn   bool
+}
+
+func (e *WALCorruptionError) Error() string {
+	kind := "corrupt"
+	if e.Torn {
+		kind = "torn"
+	}
+	path := e.Path
+	if path == "" {
+		path = "wal"
+	}
+	return fmt.Sprintf("parcc: %s %s at offset %d: %s", kind, path, e.Offset, e.Reason)
 }

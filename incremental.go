@@ -147,8 +147,11 @@ func (s *Solver) Attach(g *Graph) error {
 	s.inc = &incSession{g: g, parent: p, ncomp: ncomp, forest: fr}
 	// Unpublish: a snapshot of the previous live graph must not answer for
 	// the new one.  The version counter keeps running, so a reader that
-	// kept the old pointer can still tell the views apart.
+	// kept the old pointer can still tell the views apart.  The page
+	// mirror is dropped with the old partition — the next publish full-
+	// builds it for the new graph.
 	s.snap.Store(nil)
+	s.pages = nil
 	if rec != nil {
 		s.lastTrace = incTraceFromRecorder(rec, "attach", time.Since(start))
 	}
@@ -204,18 +207,35 @@ func (s *Solver) AddEdges(batch []Edge) error {
 	// O(|batch|).
 	span := rec.Begin()
 	var merges int
+	st := s.pages
 	if fr := inc.forest; fr != nil {
 		// Unite first, then register each edge with its outcome: a winning
 		// edge united two components and joins the spanning forest, the
 		// rest (loops, duplicates, intra-component edges) are non-forest.
 		marks := fr.Marks(len(batch))
-		merges = par.UniteBatchMark(s.casExec(), inc.parent, batch, marks)
+		if st != nil {
+			merges = par.UniteBatchTouch(s.casExec(), inc.parent, batch, marks, st.loserBuf(len(batch)))
+		} else {
+			merges = par.UniteBatchMark(s.casExec(), inc.parent, batch, marks)
+		}
 		for i, ed := range batch {
 			fr.DF.Insert(ed, marks[i])
 		}
 	} else {
 		inc.g.Edges = append(inc.g.Edges, batch...)
-		merges = par.UniteBatch(s.casExec(), inc.parent, batch)
+		if st != nil {
+			merges = par.UniteBatchTouch(s.casExec(), inc.parent, batch, nil, st.loserBuf(len(batch)))
+		} else {
+			merges = par.UniteBatch(s.casExec(), inc.parent, batch)
+		}
+	}
+	if st != nil {
+		// Feed the snapshot mirror: each losing root transfers its size to
+		// its winner now (O(1)) and queues its member relabel for the next
+		// publish's flush — the insert path stays O(|batch|·α).
+		for _, ru := range st.losers[:merges] {
+			st.noteMerge(inc.parent, ru)
+		}
 	}
 	inc.batch++
 	rec.End(obs.PhaseUnite, span)
@@ -318,6 +338,12 @@ func (s *Solver) RemoveEdges(batch []Edge) error {
 	e := s.casExec()
 	cx := s.cx
 	parent := inc.parent
+	if s.pages != nil {
+		// Deferred merge relabels must land before any deletion reshapes
+		// components: the mirror's circles and labels are exact from here
+		// through the batch (splits and region rebuilds keep them so).
+		s.pages.flush(parent)
+	}
 	dirty := cx.Grab32(n)
 	dirtyCount := 0
 	kept := inc.g.Edges[:0]
@@ -398,6 +424,9 @@ func (s *Solver) RemoveEdges(batch []Edge) error {
 	// FLS pipeline's); the scoped span pools them into the headline number.
 	span = rec.Lap(obs.PhaseScoped, span)
 	par.SpliceLabels(e, parent, sc.Verts, subLabels)
+	if s.pages != nil {
+		s.pages.rebuildRegion(parent, sc.Verts)
+	}
 	rec.End(obs.PhaseSplice, span)
 	inc.ncomp += subComps - dirtyCount
 	// The Compress above flattened the whole forest and the splice wrote a
@@ -455,13 +484,23 @@ func (s *Solver) removeEdgesForest(inc *incSession, batch []Edge, start time.Tim
 		par.Compress(e, parent)
 		inc.needsCompress = false
 	}
+	st := s.pages
+	var moved []int32
+	var movedPtr *[]int32
+	if st != nil {
+		// Deferred merge relabels land before any split can reshape a
+		// pending loser's circle; with the mirror current, each split below
+		// reports its moved side and updates the mirror in O(|moved|).
+		st.flush(parent)
+		movedPtr = &moved
+	}
 	dirty := cx.Grab32(n)
 	dirtyCount := 0
 	splits := 0
 	fa, fb := s.frontierPair(n)
 	span = rec.Lap(obs.PhaseExtract, span)
 	for _, ed := range batch {
-		dr := fr.Delete(parent, ed, fa, fb, func(root int32) bool { return dirty[root] != 0 })
+		dr := fr.DeleteCollect(parent, ed, fa, fb, func(root int32) bool { return dirty[root] != 0 }, movedPtr)
 		rec.Add(obs.CtrReplaceScans, dr.Scanned)
 		switch dr.Kind {
 		case dynconn.DeleteNonForest:
@@ -472,6 +511,9 @@ func (s *Solver) removeEdgesForest(inc *incSession, batch []Edge, start time.Tim
 		case dynconn.DeleteSplit:
 			rec.Add(obs.CtrForestDeletes, 1)
 			rec.Add(obs.CtrSplits, 1)
+			if st != nil {
+				st.split(moved, dr.Root, dr.NewRoot)
+			}
 			inc.ncomp++
 			splits++
 		case dynconn.DeleteBudget:
@@ -535,6 +577,9 @@ func (s *Solver) removeEdgesForest(inc *incSession, batch []Edge, start time.Tim
 	sc.SubLabels = subLabels
 	span = rec.Lap(obs.PhaseScoped, span)
 	par.SpliceLabels(e, parent, sc.Verts, subLabels)
+	if st != nil {
+		st.rebuildRegion(parent, sc.Verts)
+	}
 	uf := cx.Grab32(len(sc.Verts))
 	fr.RebuildRegion(sc.Verts, vmap, uf)
 	cx.Release32(uf)

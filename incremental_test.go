@@ -2,6 +2,7 @@ package parcc
 
 import (
 	"math/rand"
+	"slices"
 	"testing"
 
 	"parcc/internal/baseline"
@@ -241,6 +242,29 @@ func TestIncrementalRandomizedVsScratch(t *testing.T) {
 				}
 				if err := s.inc.forest.Check(s.inc.g, res.Labels); err != nil {
 					t.Fatalf("%s/%s batch %d: forest invariant: %v", name, be, b, err)
+				}
+				// Snapshot equivalence: the COW-published labels must be
+				// byte-identical to the eager flatten ComponentsInto just
+				// computed from the same parent array — not merely the
+				// same partition.
+				sn, err := s.PublishSnapshot()
+				if err != nil {
+					t.Fatalf("%s/%s batch %d: publish: %v", name, be, b, err)
+				}
+				if !slices.Equal(sn.Labels(), res.Labels) {
+					t.Fatalf("%s/%s batch %d: snapshot labels diverge from eager flatten", name, be, b)
+				}
+				if sn.NumComponents() != res.NumComponents {
+					t.Fatalf("%s/%s batch %d: snapshot count %d, want %d", name, be, b, sn.NumComponents(), res.NumComponents)
+				}
+				counts := map[int32]int{}
+				for _, l := range res.Labels {
+					counts[l]++
+				}
+				for v := 0; v < sn.N(); v += 37 {
+					if got, want := sn.ComponentSize(v), counts[res.Labels[v]]; got != want {
+						t.Fatalf("%s/%s batch %d: ComponentSize(%d) = %d, want %d", name, be, b, v, got, want)
+					}
 				}
 			}
 			s.Close()

@@ -110,6 +110,15 @@ type DeleteResult struct {
 // empty).  dirty reports whether a component root is already awaiting the
 // scoped fallback — deletes there skip all forest reasoning.
 func (t *Tracker) Delete(p []int32, ed graph.Edge, fa, fb *par.Frontier, dirty func(root int32) bool) DeleteResult {
+	return t.DeleteCollect(p, ed, fa, fb, dirty, nil)
+}
+
+// DeleteCollect is Delete additionally collecting the relabeled side's
+// membership on a DeleteSplit: when moved is non-nil, the vertices that
+// took Result.NewRoot are appended to *moved (reset first) — the feed of
+// the copy-on-write snapshot mirror's member lists.  Untouched on every
+// other outcome.
+func (t *Tracker) DeleteCollect(p []int32, ed graph.Edge, fa, fb *par.Frontier, dirty func(root int32) bool, moved *[]int32) DeleteResult {
 	df := t.DF
 	h := df.PickRemovable(ed.CanonKey())
 	u, v := df.U(h), df.V(h)
@@ -124,7 +133,7 @@ func (t *Tracker) Delete(p []int32, ed graph.Edge, fa, fb *par.Frontier, dirty f
 		res.Kind = DeleteDirty
 		return res
 	}
-	sr := par.ReplacementSearch(df, p, u, v, fa, fb, t.Budget())
+	sr := par.ReplacementSearchCollect(df, p, u, v, fa, fb, t.Budget(), moved)
 	res.Scanned = sr.Scanned
 	switch sr.Outcome {
 	case par.ReplaceFound:

@@ -54,6 +54,56 @@ func UniteBatchMark(e Exec, p []int32, batch []graph.Edge, marks []bool) int {
 	return int(merges.Load())
 }
 
+// UniteBatchTouch is UniteBatchMark additionally reporting WHICH root lost
+// each merge: the hooked (losing) root of every successful union is
+// appended into losers, whose filled prefix length is the return value
+// (== the merge count).  marks may be nil when per-edge outcomes are not
+// needed; when non-nil every slot is written, as in UniteBatchMark.  The
+// losers prefix is unordered (slots are reserved with an atomic cursor)
+// and duplicate-free within the batch — a root can lose at most once,
+// because the winning CAS retires it from roothood forever.  losers must
+// have capacity len(batch).  This is the bookkeeping feed of the
+// copy-on-write snapshot mirror: the caller charges each losing root's
+// member list against the winner without scanning the forest.  Same
+// contract and cost as UniteBatch otherwise.
+func UniteBatchTouch(e Exec, p []int32, batch []graph.Edge, marks []bool, losers []int32) int {
+	var cur atomic.Int64
+	e.Run(len(batch), func(i int) {
+		ed := batch[i]
+		var ru int32
+		ok := false
+		if ed.U != ed.V {
+			ru, ok = uniteLoser(p, ed.U, ed.V)
+		}
+		if marks != nil {
+			marks[i] = ok
+		}
+		if ok {
+			losers[cur.Add(1)-1] = ru
+		}
+	})
+	return int(cur.Load())
+}
+
+// uniteLoser is Unite (kernels.go) returning the hooked root on success:
+// the CAS that wins the merge installs p[ru] = rv with ru > rv, so ru is
+// exactly the root that stopped being one.  Identical linearization and
+// cost; concurrent Find/Unite on the same forest is safe.
+func uniteLoser(p []int32, u, v int32) (int32, bool) {
+	for {
+		ru, rv := Find(p, u), Find(p, v)
+		if ru == rv {
+			return 0, false
+		}
+		if ru < rv {
+			ru, rv = rv, ru
+		}
+		if atomic.CompareAndSwapInt32(&p[ru], ru, rv) {
+			return ru, true
+		}
+	}
+}
+
 // SpliceLabels installs a scoped re-solve's partition into the global
 // forest: for each selected vertex verts[i], the parent becomes the global
 // id of its sub-solve representative, p[verts[i]] = verts[sub[i]].  Because

@@ -78,6 +78,16 @@ type replaceSide struct {
 // graph; both are left empty on every path.  Sequential,
 // orchestrator-owned (the session lock), like the DynForest it walks.
 func ReplacementSearch(df *graph.DynForest, p []int32, u, v int32, fu, fv *Frontier, budget int64) ReplaceResult {
+	return ReplacementSearchCollect(df, p, u, v, fu, fv, budget, nil)
+}
+
+// ReplacementSearchCollect is ReplacementSearch additionally reporting the
+// relabeled side's membership on a split: when moved is non-nil and the
+// outcome is ReplaceSplit, the vertices that received the new root are
+// appended to *moved (reset to its empty prefix first) — the delta the
+// copy-on-write snapshot mirror needs to update its member lists without
+// scanning the component.  Nothing is appended on the other outcomes.
+func ReplacementSearchCollect(df *graph.DynForest, p []int32, u, v int32, fu, fv *Frontier, budget int64, moved *[]int32) ReplaceResult {
 	root := p[u]
 	fu.BeginCollect(true)
 	fu.Add(u)
@@ -177,8 +187,15 @@ func ReplacementSearch(df *graph.DynForest, p []int32, u, v int32, fu, fv *Front
 			target = o
 		}
 		seed := target.f.At(0)
+		if moved != nil {
+			*moved = (*moved)[:0]
+		}
 		for i := 0; i < target.f.Len(); i++ {
-			p[target.f.At(i)] = seed
+			x := target.f.At(i)
+			p[x] = seed
+			if moved != nil {
+				*moved = append(*moved, x)
+			}
 		}
 		return ReplaceResult{Outcome: ReplaceSplit, NewRoot: seed, Moved: target.f.Len(), Scanned: scanned}
 	}

@@ -1,6 +1,9 @@
 package par
 
-import "sync/atomic"
+import (
+	"math/bits"
+	"sync/atomic"
+)
 
 // SnapshotLabels is the snapshot-publish kernel behind Solver
 // .PublishSnapshot: it resolves every vertex of the parent forest p to its
@@ -18,5 +21,34 @@ func SnapshotLabels(e Exec, p, dst, sizes []int32) {
 		r := chase(p, int32(v))
 		dst[v] = r
 		atomic.AddInt32(&sizes[r], 1)
+	})
+}
+
+// SnapshotPages is SnapshotLabels writing into page-granular storage: the
+// flattened labels land in labels[v/pageSize][v%pageSize] and the
+// per-component tallies in sizes at the root's page/offset — the full-build
+// kernel of the copy-on-write snapshot mirror (Solver.PublishSnapshot's
+// paged read view).  pageSize must be a power of two; every page is
+// pageSize long (the last one simply has unused tail slots) and the caller
+// supplies the size pages zeroed.  Parallel over pages rather than
+// vertices, so each goroutine writes one label page exclusively; the size
+// tallies cross pages and stay atomic.  Same read-only contract on p as
+// SnapshotLabels.  Uncharged serving helper.
+func SnapshotPages(e Exec, p []int32, pageSize int, labels, sizes [][]int32) {
+	shift := uint(bits.TrailingZeros(uint(pageSize)))
+	mask := int32(pageSize - 1)
+	n := len(p)
+	e.Run(len(labels), func(pg int) {
+		base := pg * pageSize
+		end := pageSize
+		if base+end > n {
+			end = n - base
+		}
+		lp := labels[pg]
+		for i := 0; i < end; i++ {
+			r := chase(p, int32(base+i))
+			lp[i] = r
+			atomic.AddInt32(&sizes[r>>shift][r&mask], 1)
+		}
 	})
 }

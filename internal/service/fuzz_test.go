@@ -92,6 +92,25 @@ func TestFuzzBatchEndpointVsOracle(t *testing.T) {
 				t.Errorf("background reader: version %d is not its historical partition", v)
 				return
 			}
+			// COW self-consistency: the paged snapshot's count and sizes
+			// must agree with its own labels at every version.
+			labels := sn.Labels()
+			counts := map[int32]int{}
+			for _, l := range labels {
+				counts[l]++
+			}
+			if len(counts) != sn.NumComponents() {
+				t.Errorf("background reader: version %d has %d labels but claims %d components",
+					v, len(counts), sn.NumComponents())
+				return
+			}
+			for u := 0; u < sn.N(); u += 13 {
+				if sn.ComponentSize(u) != counts[labels[u]] {
+					t.Errorf("background reader: version %d ComponentSize(%d) = %d, want %d",
+						v, u, sn.ComponentSize(u), counts[labels[u]])
+					return
+				}
+			}
 		}
 	}()
 

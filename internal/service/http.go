@@ -367,7 +367,7 @@ func writeError(w http.ResponseWriter, err error) {
 	case errors.As(err, &vr), errors.As(err, &re),
 		errors.Is(err, parcc.ErrNilGraph), errors.Is(err, errBadParam):
 		status = http.StatusBadRequest
-	case errors.Is(err, ErrEngineClosed):
+	case errors.Is(err, ErrEngineClosed), errors.Is(err, parcc.ErrRecovering):
 		status = http.StatusServiceUnavailable
 	}
 	writeJSON(w, status, apiError{err.Error()})

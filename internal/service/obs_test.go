@@ -26,6 +26,15 @@ var requiredMetrics = []string{
 	"parcc_engine_edges",
 	"parcc_engine_queue_depth",
 	"parcc_snapshot_publish_seconds",
+	"parcc_snapshot_publish_full_seconds",
+	"parcc_snapshot_publish_delta_seconds",
+	"parcc_wal_appends_total",
+	"parcc_wal_bytes_total",
+	"parcc_wal_fsyncs_total",
+	"parcc_wal_errors_total",
+	"parcc_wal_replay_records_total",
+	"parcc_wal_replay_edges_total",
+	"parcc_wal_replay_seconds",
 	"parcc_shard_reads_total",
 	"parcc_shard_writes_total",
 	"parcc_shard_edges",

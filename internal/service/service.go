@@ -26,7 +26,10 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"os"
+	"path/filepath"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -80,6 +83,17 @@ type Options struct {
 	// Writers beyond it block in Add/RemoveEdges — closed-loop back
 	// pressure, not an error.
 	QueueDepth int
+	// WALDir enables per-shard durability: every coalesced mutation group
+	// is appended to a write-ahead log under this directory before its
+	// callers are released, and Recover replays the logs on startup.
+	// Empty (the default) disables the WAL entirely.
+	WALDir string
+	// NoFsync skips the fsync after each logged group.  The zero value —
+	// fsync on — is the safe default: with NoFsync a crash can lose
+	// acknowledged writes up to the OS flush interval, in exchange for
+	// append latency (docs/OPERATIONS.md §durability).  Ignored when
+	// WALDir is empty.
+	NoFsync bool
 }
 
 func (o Options) withDefaults() Options {
@@ -112,16 +126,38 @@ type Engine struct {
 	// wall-clock steps.
 	start time.Time
 	// reg is the engine's metrics registry; publish is the snapshot-publish
-	// latency histogram every shard observes into.  Metric updates are
+	// latency histogram every shard observes into, with publishFull/
+	// publishDelta splitting it by publish kind (the O(n) full page build
+	// vs the O(delta) copy-on-write publish).  Metric updates are
 	// lock-free atomics on the serving paths; only scrapes take the
 	// registry lock.
-	reg     *obs.Registry
-	publish *obs.Histogram
+	reg          *obs.Registry
+	publish      *obs.Histogram
+	publishFull  *obs.Histogram
+	publishDelta *obs.Histogram
+
+	// recovering gates the API while Recover replays the write-ahead
+	// logs: lookups and Creates fail with parcc.ErrRecovering (HTTP 503)
+	// until every log has been replayed, so no reader can observe a graph
+	// at a pre-crash state mid-replay.
+	recovering atomic.Bool
+	// walErrs counts groups whose WAL append failed (the in-memory apply
+	// still published; the callers got the error — see shard.apply).
+	walErrs atomic.Uint64
+	// Replay totals of the last Recover, for the metrics surface.
+	replayRecords atomic.Uint64
+	replayEdges   atomic.Uint64
+	replayNanos   atomic.Int64
 }
 
 // New returns an empty engine.  Close releases every session.
 func New(opt Options) *Engine {
 	e := &Engine{opt: opt.withDefaults(), start: time.Now(), reg: obs.NewRegistry()}
+	if e.opt.WALDir != "" {
+		// Best-effort: an unusable directory surfaces as a typed error on
+		// the first Create/Recover that touches it.
+		os.MkdirAll(e.opt.WALDir, 0o755)
+	}
 	e.registerMetrics()
 	return e
 }
@@ -198,7 +234,62 @@ func (e *Engine) registerMetrics() {
 			return float64(total)
 		})
 	e.publish = e.reg.Histogram("parcc_snapshot_publish_seconds",
-		"Latency of snapshot publishes (the O(n) label copy readers switch to).")
+		"Latency of snapshot publishes, all kinds combined.")
+	e.publishFull = e.reg.Histogram("parcc_snapshot_publish_full_seconds",
+		"Latency of full snapshot publishes (the O(n) page build of the first publish after attach or recovery).")
+	e.publishDelta = e.reg.Histogram("parcc_snapshot_publish_delta_seconds",
+		"Latency of delta snapshot publishes (copy-on-write: O(pages touched by the write group)).")
+	e.reg.Collect("parcc_wal_appends_total",
+		"Write-ahead-log frames appended, summed over all sessions.", "counter",
+		func(w io.Writer, name string) {
+			var total uint64
+			e.eachShard(func(sh *shard) {
+				if sh.wal != nil {
+					total += sh.wal.appends.Load()
+				}
+			})
+			fmt.Fprintf(w, "%s %d\n", name, total)
+		})
+	e.reg.Collect("parcc_wal_bytes_total",
+		"Write-ahead-log bytes appended, summed over all sessions.", "counter",
+		func(w io.Writer, name string) {
+			var total uint64
+			e.eachShard(func(sh *shard) {
+				if sh.wal != nil {
+					total += sh.wal.bytes.Load()
+				}
+			})
+			fmt.Fprintf(w, "%s %d\n", name, total)
+		})
+	e.reg.Collect("parcc_wal_fsyncs_total",
+		"Write-ahead-log fsyncs issued, summed over all sessions.", "counter",
+		func(w io.Writer, name string) {
+			var total uint64
+			e.eachShard(func(sh *shard) {
+				if sh.wal != nil {
+					total += sh.wal.fsyncs.Load()
+				}
+			})
+			fmt.Fprintf(w, "%s %d\n", name, total)
+		})
+	e.reg.Collect("parcc_wal_errors_total",
+		"Mutation groups whose write-ahead-log append failed (applied in memory, error returned to callers).", "counter",
+		func(w io.Writer, name string) {
+			fmt.Fprintf(w, "%s %d\n", name, e.walErrs.Load())
+		})
+	e.reg.Collect("parcc_wal_replay_records_total",
+		"Write-ahead-log records replayed by the last Recover.", "counter",
+		func(w io.Writer, name string) {
+			fmt.Fprintf(w, "%s %d\n", name, e.replayRecords.Load())
+		})
+	e.reg.Collect("parcc_wal_replay_edges_total",
+		"Edges replayed through the incremental path by the last Recover.", "counter",
+		func(w io.Writer, name string) {
+			fmt.Fprintf(w, "%s %d\n", name, e.replayEdges.Load())
+		})
+	e.reg.GaugeFunc("parcc_wal_replay_seconds",
+		"Wall time of the last Recover's replay.",
+		func() float64 { return time.Duration(e.replayNanos.Load()).Seconds() })
 	e.reg.Collect("parcc_shard_reads_total",
 		"Point queries served, per session.", "counter",
 		e.perShard(func(sh *shard) string { return fmt.Sprintf("%d", sh.reads.Load()) }))
@@ -282,12 +373,19 @@ type mutation struct {
 // queue, and the serving counters.  Exactly one writer goroutine consumes
 // reqs; any number of readers answer from the solver's published snapshot.
 type shard struct {
-	name    string
-	n       int // vertex count, fixed at Create
-	s       *parcc.Solver
-	reqs    chan *mutation
-	done    chan struct{}  // closed when the writer has drained and exited
-	publish *obs.Histogram // engine-wide snapshot-publish latency
+	name         string
+	n            int // vertex count, fixed at Create
+	s            *parcc.Solver
+	reqs         chan *mutation
+	done         chan struct{}  // closed when the writer has drained and exited
+	publish      *obs.Histogram // engine-wide snapshot-publish latency
+	publishFull  *obs.Histogram // … split: full O(n) page builds
+	publishDelta *obs.Histogram // … split: O(delta) copy-on-write publishes
+	// wal is the shard's write-ahead-log handle (nil: durability off).
+	// Appended to only by the writer goroutine, after a group is applied
+	// and before its snapshot is published and its callers released.
+	wal     *walWriter
+	walErrs *atomic.Uint64 // engine-wide append-failure counter
 
 	// state guards the closing flag against enqueuers: senders hold the
 	// read side across the channel send, Drop/Close take the write side
@@ -312,6 +410,9 @@ func (e *Engine) Create(name string, g *parcc.Graph) error {
 	if e.closed.Load() {
 		return ErrEngineClosed
 	}
+	if e.recovering.Load() {
+		return fmt.Errorf("service: %w", parcc.ErrRecovering)
+	}
 	if name == "" {
 		return fmt.Errorf("service: empty graph name")
 	}
@@ -331,34 +432,92 @@ func (e *Engine) Create(name string, g *parcc.Graph) error {
 		s.Close()
 		return err
 	}
-	e.publish.Observe(time.Since(t0))
-	sh := &shard{
-		name:    name,
-		n:       g.N,
-		s:       s,
-		reqs:    make(chan *mutation, e.opt.QueueDepth),
-		done:    make(chan struct{}),
-		publish: e.publish,
-	}
+	d := time.Since(t0)
+	e.publish.Observe(d)
+	e.publishFull.Observe(d)
+	sh := e.newShard(name, g.N, s)
 	sh.edges.Store(int64(g.M()))
 	if _, raced := e.shards.LoadOrStore(name, sh); raced {
 		s.Close()
 		return fmt.Errorf("%w: %q", ErrGraphExists, name)
+	}
+	if e.opt.WALDir != "" {
+		// The birth record must be durable before the shard serves writes.
+		// The name is registered, so no concurrent Create shares the log
+		// file; mutations that queued meanwhile are failed out below if
+		// the log cannot be opened — the shard is torn back down.
+		if err := e.attachWAL(sh, g); err != nil {
+			e.shards.Delete(name)
+			// Fail out anything that queued meanwhile.  Drain concurrently
+			// with taking the state lock: a sender blocked on a full queue
+			// holds the read side, so the drain is what lets the write
+			// side ever be acquired.
+			drained := make(chan struct{})
+			go func() {
+				for m := range sh.reqs {
+					m.err <- fmt.Errorf("%w: %q", ErrGraphNotFound, name)
+				}
+				close(drained)
+			}()
+			sh.state.Lock()
+			sh.closing = true
+			close(sh.reqs)
+			sh.state.Unlock()
+			<-drained
+			s.Close()
+			return err
+		}
 	}
 	e.wg.Add(1)
 	go e.writer(sh)
 	return nil
 }
 
+// newShard builds a shard around an attached, published solver.
+func (e *Engine) newShard(name string, n int, s *parcc.Solver) *shard {
+	return &shard{
+		name:         name,
+		n:            n,
+		s:            s,
+		reqs:         make(chan *mutation, e.opt.QueueDepth),
+		done:         make(chan struct{}),
+		publish:      e.publish,
+		publishFull:  e.publishFull,
+		publishDelta: e.publishDelta,
+		walErrs:      &e.walErrs,
+	}
+}
+
+// attachWAL creates the shard's log and makes its birth record durable.
+func (e *Engine) attachWAL(sh *shard, g *parcc.Graph) error {
+	w, err := createWAL(e.opt.WALDir, sh.name, !e.opt.NoFsync)
+	if err != nil {
+		return err
+	}
+	if err := w.appendCreate(g.N, g.Edges); err != nil {
+		w.Close()
+		os.Remove(w.path)
+		return err
+	}
+	sh.wal = w
+	return nil
+}
+
 // Drop removes the named session: queued mutations are drained and
-// applied, then the solver is released.  Readers that already hold the
-// shard's snapshot keep a valid (now frozen) view.
+// applied, then the solver is released and the shard's write-ahead log
+// (if any) is deleted — a dropped graph must not resurrect on the next
+// recovery.  Readers that already hold the shard's snapshot keep a valid
+// (now frozen) view.
 func (e *Engine) Drop(name string) error {
 	v, ok := e.shards.LoadAndDelete(name)
 	if !ok {
 		return fmt.Errorf("%w: %q", ErrGraphNotFound, name)
 	}
-	v.(*shard).shutdown()
+	sh := v.(*shard)
+	sh.shutdown()
+	if sh.wal != nil {
+		os.Remove(sh.wal.path)
+	}
 	return nil
 }
 
@@ -394,10 +553,93 @@ func (e *Engine) Close() {
 	e.wg.Wait()
 }
 
+// RecoverStats summarizes one Engine.Recover run.
+type RecoverStats struct {
+	Graphs  int           // sessions reconstructed
+	Records int           // WAL records replayed (including create records)
+	Edges   int64         // edges replayed through the incremental path
+	Elapsed time.Duration // wall time of the whole replay
+}
+
+// Recover replays every write-ahead log under Options.WALDir,
+// reconstructing each named graph at its last durable state and
+// registering it as a live shard — call it once, after New and before
+// serving.  While it runs, every lookup and Create fails with
+// parcc.ErrRecovering (HTTP 503), so no reader can observe a graph
+// mid-replay.  A log's torn final record (an interrupted append) is
+// truncated away — the interrupted group never released its callers, so
+// dropping it is consistent; any other damage fails recovery with a
+// *parcc.WALCorruptionError identifying the file and offset, and no shard
+// from that log is registered (operator intervention beats silent partial
+// state).  Empty logs (a Create that never wrote, or a fully torn tail)
+// are removed.  With WALDir empty, Recover is a no-op.
+func (e *Engine) Recover() (RecoverStats, error) {
+	var st RecoverStats
+	if e.opt.WALDir == "" {
+		return st, nil
+	}
+	e.life.RLock()
+	defer e.life.RUnlock()
+	if e.closed.Load() {
+		return st, ErrEngineClosed
+	}
+	e.recovering.Store(true)
+	defer e.recovering.Store(false)
+	t0 := time.Now()
+	entries, err := os.ReadDir(e.opt.WALDir)
+	if err != nil {
+		return st, fmt.Errorf("service: wal dir: %w", err)
+	}
+	for _, ent := range entries {
+		if ent.IsDir() || !strings.HasSuffix(ent.Name(), walSuffix) {
+			continue
+		}
+		path := filepath.Join(e.opt.WALDir, ent.Name())
+		rr, err := e.replayWAL(path)
+		if err != nil {
+			st.Elapsed = time.Since(t0)
+			return st, err
+		}
+		if rr == nil {
+			os.Remove(path) // no durable records: the graph never existed
+			continue
+		}
+		w, err := openWAL(path, !e.opt.NoFsync, rr.version)
+		if err != nil {
+			rr.solver.Close()
+			st.Elapsed = time.Since(t0)
+			return st, err
+		}
+		sh := e.newShard(rr.name, rr.n, rr.solver)
+		sh.wal = w
+		sh.edges.Store(rr.edges)
+		if _, raced := e.shards.LoadOrStore(rr.name, sh); raced {
+			// Two log files decoding to one name (hand-copied files).
+			w.Close()
+			rr.solver.Close()
+			st.Elapsed = time.Since(t0)
+			return st, &parcc.WALCorruptionError{Path: path, Reason: fmt.Sprintf("duplicate graph %q", rr.name)}
+		}
+		e.wg.Add(1)
+		go e.writer(sh)
+		st.Graphs++
+		st.Records += rr.records
+		st.Edges += rr.replayed
+	}
+	st.Elapsed = time.Since(t0)
+	e.replayRecords.Store(uint64(st.Records))
+	e.replayEdges.Store(uint64(st.Edges))
+	e.replayNanos.Store(int64(st.Elapsed))
+	return st, nil
+}
+
 // lookup resolves a shard on the lock-free read path.
 func (e *Engine) lookup(name string) (*shard, error) {
 	if e.closed.Load() {
 		return nil, ErrEngineClosed
+	}
+	if e.recovering.Load() {
+		return nil, fmt.Errorf("service: %w", parcc.ErrRecovering)
 	}
 	v, ok := e.shards.Load(name)
 	if !ok {
@@ -542,14 +784,21 @@ func checkVertex(v, n int) error {
 }
 
 // shutdown stops the shard's writer after a graceful drain and releases
-// its solver.  Safe to call once per shard (Drop and Close both route
-// through LoadAndDelete, which elects a single caller).
+// its solver.  The drain order is the durability contract: queued
+// mutation groups are applied and logged (each group fsync'd as it
+// lands), then the WAL handle is closed, then the session — so a graceful
+// stop loses nothing and the log ends on a whole-frame boundary.  Safe to
+// call once per shard (Drop and Close both route through LoadAndDelete,
+// which elects a single caller).
 func (sh *shard) shutdown() {
 	sh.state.Lock()
 	sh.closing = true
 	close(sh.reqs)
 	sh.state.Unlock()
 	<-sh.done // writer drains remaining queued mutations, then exits
+	if sh.wal != nil {
+		sh.wal.Close()
+	}
 	sh.s.Close()
 }
 
@@ -610,10 +859,20 @@ func (e *Engine) collect(sh *shard, first *mutation) []*mutation {
 // call (order across kinds is preserved — an add queued before a remove
 // is applied before it).  If a combined call fails, the run is replayed
 // per caller so each gets its exact error and innocent neighbors still
-// land.  One snapshot publish covers the whole group.
+// land.  With the WAL on, exactly the successfully applied sub-batches
+// are logged and fsync'd; then one snapshot publish covers the whole
+// group, and only then are the callers released — so a write is never
+// acknowledged, and never visible to any reader, before it is durable.
 func (sh *shard) apply(group []*mutation) {
 	errs := make([]error, len(group))
 	mutated := false
+	var logged []walEntry
+	ok := func(remove bool, batch []parcc.Edge) {
+		mutated = true
+		if sh.wal != nil {
+			logged = append(logged, walEntry{remove: remove, batch: batch})
+		}
+	}
 	for lo := 0; lo < len(group); {
 		hi := lo + 1
 		for hi < len(group) && group[hi].remove == group[lo].remove {
@@ -622,7 +881,9 @@ func (sh *shard) apply(group []*mutation) {
 		run := group[lo:hi]
 		if len(run) == 1 {
 			errs[lo] = sh.applyOne(run[0].remove, run[0].batch)
-			mutated = mutated || errs[lo] == nil
+			if errs[lo] == nil {
+				ok(run[0].remove, run[0].batch)
+			}
 			lo = hi
 			continue
 		}
@@ -636,20 +897,44 @@ func (sh *shard) apply(group []*mutation) {
 			// mutated; replay per caller for exact attribution.
 			for i, m := range run {
 				errs[lo+i] = sh.applyOne(m.remove, m.batch)
-				mutated = mutated || errs[lo+i] == nil
+				if errs[lo+i] == nil {
+					ok(m.remove, m.batch)
+				}
 			}
 		} else {
-			mutated = true
+			ok(run[0].remove, combined)
 			sh.coalesced.Add(uint64(len(run)))
 		}
 		lo = hi
+	}
+	if mutated && sh.wal != nil {
+		if werr := sh.wal.appendGroup(logged); werr != nil {
+			// The group is applied in memory and will publish below —
+			// read-your-writes holds — but its durability failed, so
+			// every caller whose batch landed gets the WAL error instead
+			// of success (a write acknowledged as durable must be).
+			sh.walErrs.Add(1)
+			for i := range errs {
+				if errs[i] == nil {
+					errs[i] = werr
+				}
+			}
+		}
 	}
 	if mutated {
 		// Cannot fail: the writer owns the session, which is attached and
 		// not closed until this goroutine exits.
 		t0 := time.Now()
-		sh.s.PublishSnapshot()
-		sh.publish.Observe(time.Since(t0))
+		sn, _ := sh.s.PublishSnapshot()
+		d := time.Since(t0)
+		sh.publish.Observe(d)
+		if sn != nil {
+			if sn.PublishedFull() {
+				sh.publishFull.Observe(d)
+			} else {
+				sh.publishDelta.Observe(d)
+			}
+		}
 	}
 	for i, m := range group {
 		m.err <- errs[i]

@@ -1,0 +1,386 @@
+package service
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"net/url"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+
+	"parcc"
+)
+
+// Per-shard write-ahead log.  When Options.WALDir is set, every shard
+// appends exactly the coalesced mutation groups its writer goroutine
+// applies — one frame per successful AddEdges/RemoveEdges sub-batch — and
+// fsyncs before the group's snapshot is published and its callers are
+// released.  Engine.Recover replays the logs on startup, reconstructing
+// every named graph at its last durable state.
+//
+// Frame format (all integers little-endian):
+//
+//	u32 length      — payload bytes (not counting this 8-byte header)
+//	u32 crc         — CRC-32 (IEEE) of the payload
+//	payload:
+//	  u8  kind      — 1 create, 2 add, 3 remove
+//	  u64 seq       — see below
+//	  create: u64 n, u64 m, then m × (i32 u, i32 v)
+//	  add/remove:    u64 count, then count × (i32 u, i32 v)
+//
+// seq is the snapshot version that exposes the record: the create record
+// carries 1 (Create's publish is version 1) and every frame of one
+// coalesced group carries the same lastSeq+1 (the group publishes once).
+// The writer's lastSeq therefore mirrors the session's published version
+// exactly, and recovery — which applies all records, floors the version
+// counter at the last record's seq, and publishes once — resumes at
+// maxSeq+1: strictly greater than any version a reader could have
+// observed before the crash, because the fsync of a frame always precedes
+// the publish that exposes it.
+//
+// The decoder distinguishes a TORN tail (a truncated header or frame
+// body: exactly what an interrupted final write leaves) from mid-log
+// CORRUPTION (checksum mismatch, impossible lengths, unknown kinds).
+// Recovery tolerates only the former, truncating the file to the last
+// whole frame; anything else fails recovery with a typed
+// *parcc.WALCorruptionError — a log that lies must never yield silent
+// partial state.
+
+const (
+	walKindCreate byte = 1
+	walKindAdd    byte = 2
+	walKindRemove byte = 3
+
+	walHeaderLen = 8       // u32 length + u32 crc
+	walMinFrame  = 9       // kind + seq: the smallest possible payload
+	walMaxFrame  = 1 << 30 // sanity cap on a single frame's payload
+	walSuffix    = ".wal"
+)
+
+// walPath is the shard's log file: the graph name, query-escaped so any
+// name is a safe file name, under the engine's WAL directory.
+func walPath(dir, name string) string {
+	return filepath.Join(dir, url.QueryEscape(name)+walSuffix)
+}
+
+// walRecord is one decoded frame.
+type walRecord struct {
+	kind  byte
+	seq   uint64
+	n     int // vertex count (create frames only)
+	batch []parcc.Edge
+}
+
+// appendWALFrame encodes rec as one frame onto buf.
+func appendWALFrame(buf []byte, rec *walRecord) []byte {
+	start := len(buf)
+	buf = append(buf, 0, 0, 0, 0, 0, 0, 0, 0) // length + crc, patched below
+	p0 := len(buf)
+	buf = append(buf, rec.kind)
+	buf = binary.LittleEndian.AppendUint64(buf, rec.seq)
+	if rec.kind == walKindCreate {
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(rec.n))
+	}
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(len(rec.batch)))
+	for _, ed := range rec.batch {
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(ed.U))
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(ed.V))
+	}
+	payload := buf[p0:]
+	binary.LittleEndian.PutUint32(buf[start:], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(buf[start+4:], crc32.ChecksumIEEE(payload))
+	return buf
+}
+
+func walErr(off int, torn bool, format string, args ...any) error {
+	return &parcc.WALCorruptionError{
+		Offset: int64(off),
+		Torn:   torn,
+		Reason: fmt.Sprintf(format, args...),
+	}
+}
+
+// decodeWALFrame decodes the frame at data[off:], returning the record
+// and the offset just past it.  It validates length, checksum, kind, and
+// the internal length/count consistency before allocating anything sized
+// by untrusted fields, so garbage input can neither panic nor force a
+// huge allocation.
+func decodeWALFrame(data []byte, off int) (walRecord, int, error) {
+	var rec walRecord
+	rem := len(data) - off
+	if rem < walHeaderLen {
+		return rec, off, walErr(off, true, "truncated frame header (%d bytes)", rem)
+	}
+	length := int(binary.LittleEndian.Uint32(data[off:]))
+	wantCRC := binary.LittleEndian.Uint32(data[off+4:])
+	if length < walMinFrame || length > walMaxFrame {
+		return rec, off, walErr(off, false, "frame length %d out of range [%d,%d]", length, walMinFrame, walMaxFrame)
+	}
+	if rem-walHeaderLen < length {
+		return rec, off, walErr(off, true, "truncated frame body (%d of %d bytes)", rem-walHeaderLen, length)
+	}
+	payload := data[off+walHeaderLen : off+walHeaderLen+length]
+	if crc := crc32.ChecksumIEEE(payload); crc != wantCRC {
+		return rec, off, walErr(off, false, "checksum mismatch (stored %08x, computed %08x)", wantCRC, crc)
+	}
+	rec.kind = payload[0]
+	rec.seq = binary.LittleEndian.Uint64(payload[1:])
+	body := payload[walMinFrame:]
+	switch rec.kind {
+	case walKindCreate:
+		if len(body) < 16 {
+			return rec, off, walErr(off, false, "create frame too short (%d bytes)", len(body))
+		}
+		n := binary.LittleEndian.Uint64(body)
+		m := binary.LittleEndian.Uint64(body[8:])
+		if n > 1<<31-1 {
+			return rec, off, walErr(off, false, "create frame vertex count %d overflows int32", n)
+		}
+		if uint64(len(body)-16) != m*8 {
+			return rec, off, walErr(off, false, "create frame declares %d edges, carries %d bytes", m, len(body)-16)
+		}
+		rec.n = int(n)
+		rec.batch = decodeWALEdges(body[16:])
+	case walKindAdd, walKindRemove:
+		count := binary.LittleEndian.Uint64(body)
+		if uint64(len(body)-8) != count*8 {
+			return rec, off, walErr(off, false, "batch frame declares %d edges, carries %d bytes", count, len(body)-8)
+		}
+		rec.batch = decodeWALEdges(body[8:])
+	default:
+		return rec, off, walErr(off, false, "unknown record kind %d", rec.kind)
+	}
+	return rec, off + walHeaderLen + length, nil
+}
+
+// decodeWALEdges decodes a validated (length-checked) edge array.
+func decodeWALEdges(b []byte) []parcc.Edge {
+	edges := make([]parcc.Edge, len(b)/8)
+	for i := range edges {
+		edges[i] = parcc.Edge{
+			U: int32(binary.LittleEndian.Uint32(b[i*8:])),
+			V: int32(binary.LittleEndian.Uint32(b[i*8+4:])),
+		}
+	}
+	return edges
+}
+
+// decodeWAL decodes a whole log image.  It returns every cleanly decoded
+// record, the byte length of that clean prefix, and the error that
+// stopped decoding (nil at a clean end of input).  The error is always a
+// *parcc.WALCorruptionError; Torn distinguishes a truncated final frame
+// from mid-log corruption.
+func decodeWAL(data []byte) ([]walRecord, int, error) {
+	var recs []walRecord
+	off := 0
+	for off < len(data) {
+		rec, next, err := decodeWALFrame(data, off)
+		if err != nil {
+			return recs, off, err
+		}
+		recs = append(recs, rec)
+		off = next
+	}
+	return recs, off, nil
+}
+
+// walWriter is a shard's append handle: owned by the shard's writer
+// goroutine (appends are naturally serialized), with atomic counters for
+// the metrics scraper.
+type walWriter struct {
+	f     *os.File
+	path  string
+	fsync bool
+	// lastSeq mirrors the session's current published snapshot version;
+	// the next group's frames are stamped lastSeq+1 (see the file header
+	// comment for the lockstep argument).
+	lastSeq uint64
+	buf     []byte
+
+	appends atomic.Uint64 // frames written
+	bytes   atomic.Uint64 // bytes written
+	fsyncs  atomic.Uint64 // fsyncs issued
+}
+
+// createWAL opens (truncating) the shard's log file.  A fresh Create
+// supersedes any stale log under the same name — a crash-recovered graph
+// re-registers through Engine.Recover before Create can race it.
+func createWAL(dir, name string, fsync bool) (*walWriter, error) {
+	path := walPath(dir, name)
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("service: wal create: %w", err)
+	}
+	return &walWriter{f: f, path: path, fsync: fsync}, nil
+}
+
+// openWAL reopens an existing log for appending after replay; lastSeq is
+// the recovered session's published version.
+func openWAL(path string, fsync bool, lastSeq uint64) (*walWriter, error) {
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("service: wal open: %w", err)
+	}
+	return &walWriter{f: f, path: path, fsync: fsync, lastSeq: lastSeq}, nil
+}
+
+// appendCreate logs the graph's birth record — seq 1, matching the
+// publish Create issues — and syncs it; a Create whose birth record
+// cannot be made durable fails.
+func (w *walWriter) appendCreate(n int, edges []parcc.Edge) error {
+	w.buf = appendWALFrame(w.buf[:0], &walRecord{kind: walKindCreate, seq: 1, n: n, batch: edges})
+	if err := w.write(1); err != nil {
+		return err
+	}
+	w.lastSeq = 1
+	if cap(w.buf) > 1<<20 {
+		w.buf = nil // the birth record can dwarf every later group; don't pin it
+	}
+	return nil
+}
+
+// walEntry is one successfully applied sub-batch of a coalesced group.
+type walEntry struct {
+	remove bool
+	batch  []parcc.Edge
+}
+
+// appendGroup logs one coalesced group — every frame stamped with the seq
+// of the single publish that will expose it — and syncs once for the
+// whole group.
+func (w *walWriter) appendGroup(entries []walEntry) error {
+	seq := w.lastSeq + 1
+	w.buf = w.buf[:0]
+	for _, en := range entries {
+		kind := walKindAdd
+		if en.remove {
+			kind = walKindRemove
+		}
+		w.buf = appendWALFrame(w.buf, &walRecord{kind: kind, seq: seq, batch: en.batch})
+	}
+	if err := w.write(len(entries)); err != nil {
+		return err
+	}
+	w.lastSeq = seq
+	return nil
+}
+
+// write flushes buf to the file (and syncs, when fsync is on), charging
+// the counters.
+func (w *walWriter) write(frames int) error {
+	if _, err := w.f.Write(w.buf); err != nil {
+		return fmt.Errorf("service: wal append %s: %w", w.path, err)
+	}
+	w.appends.Add(uint64(frames))
+	w.bytes.Add(uint64(len(w.buf)))
+	if w.fsync {
+		if err := w.f.Sync(); err != nil {
+			return fmt.Errorf("service: wal fsync %s: %w", w.path, err)
+		}
+		w.fsyncs.Add(1)
+	}
+	return nil
+}
+
+// Close releases the file handle (the OS flushes on close; every released
+// caller's group was already synced if fsync is on).
+func (w *walWriter) Close() error { return w.f.Close() }
+
+// replayedShard is one log's reconstructed session.
+type replayedShard struct {
+	name     string
+	solver   *parcc.Solver
+	n        int
+	edges    int64 // live edge count after replay
+	replayed int64 // total batch edges pushed through the incremental path
+	records  int
+	version  uint64 // published version after the recovery publish
+}
+
+// replayWAL reconstructs one shard from its log file.  A torn tail is
+// truncated away (the interrupted group never released its callers, so
+// dropping it is consistent); any other decode or replay failure returns
+// a *parcc.WALCorruptionError (possibly wrapped) and recovery fails.  A
+// log with no durable records returns (nil, nil): the caller removes the
+// file and moves on.
+func (e *Engine) replayWAL(path string) (*replayedShard, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("service: wal read: %w", err)
+	}
+	recs, valid, derr := decodeWAL(data)
+	if derr != nil {
+		var ce *parcc.WALCorruptionError
+		if !errors.As(derr, &ce) || !ce.Torn {
+			if ce != nil && ce.Path == "" {
+				ce.Path = path
+			}
+			return nil, derr
+		}
+		// Torn tail: keep the clean prefix, truncate the damage away so
+		// the reopened log appends from a whole-frame boundary.
+		if err := os.Truncate(path, int64(valid)); err != nil {
+			return nil, fmt.Errorf("service: wal truncate torn tail: %w", err)
+		}
+	}
+	if len(recs) == 0 {
+		return nil, nil
+	}
+	if recs[0].kind != walKindCreate {
+		return nil, &parcc.WALCorruptionError{Path: path, Reason: "first record is not a create"}
+	}
+	g := parcc.NewGraph(recs[0].n)
+	g.Edges = append(g.Edges, recs[0].batch...)
+	s, err := parcc.NewSolver(e.opt.Solver)
+	if err != nil {
+		return nil, err
+	}
+	if err := s.Attach(g); err != nil {
+		s.Close()
+		return nil, &parcc.WALCorruptionError{Path: path, Reason: fmt.Sprintf("create record rejected on replay: %v", err)}
+	}
+	edges := int64(len(recs[0].batch))
+	replayed := edges
+	for i, rec := range recs[1:] {
+		var aerr error
+		switch rec.kind {
+		case walKindAdd:
+			aerr = s.AddEdges(rec.batch)
+			edges += int64(len(rec.batch))
+		case walKindRemove:
+			aerr = s.RemoveEdges(rec.batch)
+			edges -= int64(len(rec.batch))
+		default:
+			aerr = fmt.Errorf("unexpected create record mid-log")
+		}
+		if aerr != nil {
+			s.Close()
+			return nil, &parcc.WALCorruptionError{Path: path, Reason: fmt.Sprintf("record %d rejected on replay: %v", i+1, aerr)}
+		}
+		replayed += int64(len(rec.batch))
+	}
+	// Resume the version lockstep: one publish, stamped past every
+	// version that was observable before the crash (see the file header).
+	s.AdvanceSnapshotVersion(recs[len(recs)-1].seq)
+	sn, err := s.PublishSnapshot()
+	if err != nil {
+		s.Close()
+		return nil, err
+	}
+	name, err := url.QueryUnescape(filepath.Base(path[:len(path)-len(walSuffix)]))
+	if err != nil {
+		s.Close()
+		return nil, &parcc.WALCorruptionError{Path: path, Reason: fmt.Sprintf("undecodable graph name: %v", err)}
+	}
+	return &replayedShard{
+		name:     name,
+		solver:   s,
+		n:        recs[0].n,
+		edges:    edges,
+		replayed: replayed,
+		records:  len(recs),
+		version:  sn.Version(),
+	}, nil
+}

@@ -1,0 +1,384 @@
+package service
+
+import (
+	"errors"
+	"math/rand"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"parcc"
+	"parcc/internal/baseline"
+	"parcc/internal/graph"
+	"parcc/internal/graph/gen"
+)
+
+// walStream is a recorded op stream against a WAL-backed engine: the
+// per-batch oracle label history (history[i] is the partition after batch
+// i; history[0] is the initial state) and the log's frame boundaries.
+type walStream struct {
+	name       string
+	file       string // log file name (not path)
+	data       []byte
+	boundaries []int // boundaries[r] = byte offset just past record r-1 (boundaries[0] = 0)
+	history    [][]int32
+}
+
+// buildWALStream drives a randomized add/remove stream through a
+// WAL-enabled engine, one acked batch at a time (sequential callers, so
+// records map 1:1 to oracle positions), and returns the log image plus
+// the oracle history.
+func buildWALStream(t *testing.T, backend parcc.Backend, batches int, seed int64) *walStream {
+	t.Helper()
+	dir := t.TempDir()
+	eng := New(Options{
+		Solver: &parcc.Options{Backend: backend, Procs: 3, Seed: 7},
+		WALDir: dir,
+	})
+	defer eng.Close()
+
+	rng := rand.New(rand.NewSource(seed))
+	g0 := gen.GNM(96, 150, uint64(seed))
+	oracle := baseline.NewIncOracle(g0)
+	name := "crash/test graph" // exercises the name escaping too
+	if err := eng.Create(name, g0.Clone()); err != nil {
+		t.Fatal(err)
+	}
+	st := &walStream{name: name}
+	snap := func() []int32 {
+		labels := oracle.Labels()
+		return append([]int32(nil), labels...)
+	}
+	st.history = append(st.history, snap())
+	for b := 0; b < batches; b++ {
+		live := oracle.Graph()
+		if rng.Intn(10) < 6 || live.M() == 0 {
+			k := 1 + rng.Intn(5)
+			batch := make([]parcc.Edge, k)
+			for i := range batch {
+				batch[i] = parcc.Edge{U: int32(rng.Intn(live.N)), V: int32(rng.Intn(live.N))}
+			}
+			if err := eng.AddEdges(name, batch); err != nil {
+				t.Fatalf("batch %d: AddEdges: %v", b, err)
+			}
+			if err := oracle.AddEdges(batch); err != nil {
+				t.Fatal(err)
+			}
+		} else {
+			k := 1 + rng.Intn(4)
+			if k > live.M() {
+				k = live.M()
+			}
+			idx := rng.Perm(live.M())[:k]
+			batch := make([]parcc.Edge, 0, k)
+			for _, i := range idx {
+				batch = append(batch, live.Edges[i])
+			}
+			if err := eng.RemoveEdges(name, batch); err != nil {
+				t.Fatalf("batch %d: RemoveEdges: %v", b, err)
+			}
+			if err := oracle.RemoveEdges(batch); err != nil {
+				t.Fatal(err)
+			}
+		}
+		st.history = append(st.history, snap())
+	}
+	eng.Close() // graceful: nothing queued, the log already holds every acked batch
+
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("want 1 wal file, got %d", len(entries))
+	}
+	st.file = entries[0].Name()
+	st.data, err = os.ReadFile(filepath.Join(dir, st.file))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.boundaries = []int{0}
+	off := 0
+	for off < len(st.data) {
+		_, next, err := decodeWALFrame(st.data, off)
+		if err != nil {
+			t.Fatalf("clean log fails to decode at %d: %v", off, err)
+		}
+		off = next
+		st.boundaries = append(st.boundaries, off)
+	}
+	if got, want := len(st.boundaries)-1, batches+1; got != want {
+		t.Fatalf("log holds %d records, want %d (create + %d batches)", got, want, batches)
+	}
+	return st
+}
+
+// recoverPrefix writes a truncated copy of the stream's log and recovers
+// an engine from it, returning the engine (caller closes).
+func recoverPrefix(t *testing.T, st *walStream, backend parcc.Backend, cut int) *Engine {
+	t.Helper()
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, st.file), st.data[:cut], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	eng := New(Options{
+		Solver: &parcc.Options{Backend: backend, Procs: 3, Seed: 7},
+		WALDir: dir,
+	})
+	if _, err := eng.Recover(); err != nil {
+		t.Fatalf("recover at cut %d: %v", cut, err)
+	}
+	return eng
+}
+
+// checkRecovered asserts the recovered partition equals the oracle at
+// stream position pos (records = pos+1: create + pos batches).
+func checkRecovered(t *testing.T, eng *Engine, st *walStream, pos int) {
+	t.Helper()
+	sn, err := eng.Snapshot(st.name)
+	if err != nil {
+		t.Fatalf("pos %d: %v", pos, err)
+	}
+	want := st.history[pos]
+	if !graph.SamePartition(want, sn.Labels()) {
+		t.Fatalf("pos %d: recovered partition differs from oracle", pos)
+	}
+	if wantN := graph.NumLabels(want); sn.NumComponents() != wantN {
+		t.Fatalf("pos %d: count %d, want %d", pos, sn.NumComponents(), wantN)
+	}
+	// The recovery publish resumes the version lockstep past every
+	// pre-crash publish: create = version 1, batch i = version i+1, so a
+	// log of pos+1 records recovers at version pos+2.
+	if got, want := sn.Version(), uint64(pos+2); got != want {
+		t.Fatalf("pos %d: version %d, want %d", pos, got, want)
+	}
+	// Spot-check sizes against the labels.
+	counts := map[int32]int{}
+	labels := sn.Labels()
+	for _, l := range labels {
+		counts[l]++
+	}
+	for v := 0; v < len(labels); v += 7 {
+		if got, want := sn.ComponentSize(v), counts[labels[v]]; got != want {
+			t.Fatalf("pos %d: ComponentSize(%d) = %d, want %d", pos, v, got, want)
+		}
+	}
+}
+
+// TestWALCrashPoints is the crash-point property satellite: the log is
+// truncated at EVERY record boundary — and mid-record, for the torn-tail
+// path — and each truncation must recover to exactly the oracle's
+// partition at that stream position, on both backends.
+func TestWALCrashPoints(t *testing.T) {
+	const batches = 14
+	for _, backend := range []parcc.Backend{parcc.BackendSequential, parcc.BackendConcurrent} {
+		t.Run(string(backend), func(t *testing.T) {
+			st := buildWALStream(t, backend, batches, 42+int64(len(backend)))
+			for r := 0; r < len(st.boundaries); r++ {
+				cut := st.boundaries[r]
+				eng := recoverPrefix(t, st, backend, cut)
+				if r == 0 {
+					// No durable records: the graph never existed.
+					if _, err := eng.Snapshot(st.name); !errors.Is(err, ErrGraphNotFound) {
+						t.Fatalf("empty log: want ErrGraphNotFound, got %v", err)
+					}
+				} else {
+					checkRecovered(t, eng, st, r-1)
+				}
+				eng.Close()
+
+				// Mid-record cut: a torn tail of the next record must
+				// recover to the same boundary.
+				if r < len(st.boundaries)-1 {
+					torn := recoverPrefix(t, st, backend, cut+3)
+					if r == 0 {
+						if _, err := torn.Snapshot(st.name); !errors.Is(err, ErrGraphNotFound) {
+							t.Fatalf("torn-at-birth log: want ErrGraphNotFound, got %v", err)
+						}
+					} else {
+						checkRecovered(t, torn, st, r-1)
+					}
+					torn.Close()
+				}
+			}
+		})
+	}
+}
+
+// TestWALRecoveredShardKeepsServing: a recovered shard accepts writes,
+// stamps them past every pre-crash version, and survives a SECOND
+// recovery — the log seam between the replayed prefix and the appended
+// suffix must be invisible.
+func TestWALRecoveredShardKeepsServing(t *testing.T) {
+	const batches = 6
+	st := buildWALStream(t, parcc.BackendSequential, batches, 99)
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, st.file), st.data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	opt := Options{Solver: &parcc.Options{Backend: parcc.BackendSequential, Seed: 7}, WALDir: dir}
+	eng := New(opt)
+	if _, err := eng.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	checkRecovered(t, eng, st, batches)
+	// One more write through the recovered shard.
+	if err := eng.AddEdges(st.name, []parcc.Edge{{U: 0, V: 95}, {U: 1, V: 94}}); err != nil {
+		t.Fatal(err)
+	}
+	sn, err := eng.Snapshot(st.name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := sn.Version(), uint64(batches+3); got != want {
+		t.Fatalf("post-recovery write: version %d, want %d", got, want)
+	}
+	if !sn.Connected(0, 95) {
+		t.Fatal("post-recovery write not visible")
+	}
+	eng.Close()
+
+	// Crash again, recover again: the appended record must replay.
+	eng2 := New(opt)
+	if _, err := eng2.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	defer eng2.Close()
+	sn2, err := eng2.Snapshot(st.name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sn2.Connected(0, 95) || !sn2.Connected(1, 94) {
+		t.Fatal("second recovery lost the post-recovery write")
+	}
+	if got := sn2.Version(); got != uint64(batches+4) {
+		t.Fatalf("second recovery: version %d, want %d", got, batches+4)
+	}
+}
+
+// TestWALMidLogCorruptionFailsRecovery: damage anywhere but the tail is
+// not recoverable-around — recovery must fail with a typed
+// *parcc.WALCorruptionError (Torn=false), never silently skip records.
+func TestWALMidLogCorruptionFailsRecovery(t *testing.T) {
+	st := buildWALStream(t, parcc.BackendSequential, 6, 7)
+	// Flip a payload byte inside the SECOND record (offsets keep framing
+	// intact, so this is a checksum mismatch, not a torn tail).
+	data := append([]byte(nil), st.data...)
+	data[st.boundaries[1]+walHeaderLen]++
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, st.file), data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	eng := New(Options{Solver: &parcc.Options{}, WALDir: dir})
+	defer eng.Close()
+	_, err := eng.Recover()
+	var ce *parcc.WALCorruptionError
+	if !errors.As(err, &ce) {
+		t.Fatalf("want *parcc.WALCorruptionError, got %v", err)
+	}
+	if ce.Torn {
+		t.Fatalf("mid-log checksum damage classified as torn: %v", ce)
+	}
+	// Nothing may have been registered.
+	if _, err := eng.Snapshot(st.name); !errors.Is(err, ErrGraphNotFound) {
+		t.Fatalf("corrupt log registered a shard: %v", err)
+	}
+}
+
+// TestWALTornTailTruncated: recovery truncates the torn suffix on disk,
+// so the reopened log appends from a whole-frame boundary.
+func TestWALTornTailTruncated(t *testing.T) {
+	st := buildWALStream(t, parcc.BackendSequential, 4, 11)
+	cut := st.boundaries[3] + 5 // mid-record inside record 3
+	dir := t.TempDir()
+	path := filepath.Join(dir, st.file)
+	if err := os.WriteFile(path, st.data[:cut], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	eng := New(Options{Solver: &parcc.Options{}, WALDir: dir})
+	if _, err := eng.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	eng.Close()
+	fi, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fi.Size() != int64(st.boundaries[3]) {
+		t.Fatalf("torn tail not truncated: size %d, want %d", fi.Size(), st.boundaries[3])
+	}
+}
+
+// TestWALDropRemovesLog: a dropped graph must not resurrect on recovery.
+func TestWALDropRemovesLog(t *testing.T) {
+	dir := t.TempDir()
+	eng := New(Options{Solver: &parcc.Options{}, WALDir: dir})
+	if err := eng.Create("g", gen.Cycle(16)); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Drop("g"); err != nil {
+		t.Fatal(err)
+	}
+	eng.Close()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 0 {
+		t.Fatalf("dropped graph left %d wal file(s)", len(entries))
+	}
+}
+
+// TestRecoveringMapsTo503: the taxonomy entry the recovery gate returns
+// must surface as Service Unavailable.
+func TestRecoveringMapsTo503(t *testing.T) {
+	rr := httptest.NewRecorder()
+	writeError(rr, parcc.ErrRecovering)
+	if rr.Code != 503 {
+		t.Fatalf("ErrRecovering mapped to %d, want 503", rr.Code)
+	}
+}
+
+// FuzzWALDecode is the decoder-robustness satellite: arbitrary bytes —
+// including bit-flipped CRCs, truncated length prefixes, and garbage
+// frames — must decode to a clean prefix plus a typed
+// *parcc.WALCorruptionError, never panic, never allocate unboundedly,
+// and never yield records past the damage.  The seeded corpus runs in
+// CI's ordinary (non-fuzz) test mode.
+func FuzzWALDecode(f *testing.F) {
+	valid := appendWALFrame(nil, &walRecord{kind: walKindCreate, seq: 1, n: 8, batch: []parcc.Edge{{U: 0, V: 1}}})
+	valid = appendWALFrame(valid, &walRecord{kind: walKindAdd, seq: 2, batch: []parcc.Edge{{U: 2, V: 3}, {U: 4, V: 5}}})
+	valid = appendWALFrame(valid, &walRecord{kind: walKindRemove, seq: 3, batch: []parcc.Edge{{U: 2, V: 3}}})
+	f.Add(valid)
+	f.Add(valid[:len(valid)-3]) // torn tail
+	f.Add(valid[:5])            // truncated length prefix
+	f.Add([]byte{})             // empty
+	flipped := append([]byte(nil), valid...)
+	flipped[len(flipped)-1] ^= 0x40 // payload bit flip → CRC mismatch
+	f.Add(flipped)
+	badlen := append([]byte(nil), valid...)
+	badlen[0], badlen[1], badlen[2], badlen[3] = 0xff, 0xff, 0xff, 0xff // insane length
+	f.Add(badlen)
+	f.Add([]byte("not a wal at all, just some text that is long enough"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		recs, valid, err := decodeWAL(data)
+		if valid < 0 || valid > len(data) {
+			t.Fatalf("clean-prefix length %d out of [0,%d]", valid, len(data))
+		}
+		if err != nil {
+			var ce *parcc.WALCorruptionError
+			if !errors.As(err, &ce) {
+				t.Fatalf("decode error is not a *parcc.WALCorruptionError: %v", err)
+			}
+		} else if valid != len(data) {
+			t.Fatalf("nil error but clean prefix %d != input %d", valid, len(data))
+		}
+		// The clean prefix must re-decode cleanly to the same records —
+		// no silent partial state on either side of the cut.
+		recs2, valid2, err2 := decodeWAL(data[:valid])
+		if err2 != nil || valid2 != valid || len(recs2) != len(recs) {
+			t.Fatalf("clean prefix unstable: %d/%d records, %d/%d bytes, err %v", len(recs2), len(recs), valid2, valid, err2)
+		}
+	})
+}

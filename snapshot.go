@@ -1,6 +1,8 @@
 package parcc
 
 import (
+	"sync"
+
 	"parcc/internal/par"
 )
 
@@ -16,24 +18,39 @@ import (
 // snapshot per coalesced mutation batch; see docs/OPERATIONS.md for the
 // memory model).
 //
-// Point queries are O(1) array lookups; none of them allocates.  Vertex
-// arguments must be in [0, N()) — the methods index slices directly and
-// panic on out-of-range input, exactly like the slices themselves (the
-// serving layer validates before calling).
+// Storage is paged copy-on-write (pages.go): consecutive snapshots share
+// every label/size page the intervening write groups did not touch, so a
+// version costs O(pages touched), not O(n), in both time and memory.
+// Sharing is invisible to readers — a shared page is immutable for as
+// long as any snapshot references it; the session clones before writing.
+//
+// Point queries are O(1) lookups (one page indirection); none of them
+// allocates.  Vertex arguments must be in [0, N()) — the methods index
+// slices directly and panic on out-of-range input, exactly like the
+// slices themselves (the serving layer validates before calling).
 type Snapshot struct {
-	labels  []int32
-	sizes   []int32 // indexed by root label
+	n       int
+	labels  [][]int32 // labels[v>>pageShift][v&pageMask] = v's representative
+	sizes   [][]int32 // component size at the root's slot, zero elsewhere
 	ncomp   int
 	version uint64
+	full    bool // produced by a full O(n) build, not a delta publish
+	cloned  int  // pages the write groups since the previous publish cloned
+
+	// flat is the lazily materialized flat label array behind Labels();
+	// built at most once per snapshot, only for bulk readers.
+	flatOnce sync.Once
+	flat     []int32
 }
 
 // N returns the number of vertices the snapshot covers.
-func (sn *Snapshot) N() int { return len(sn.labels) }
+func (sn *Snapshot) N() int { return sn.n }
 
 // Version is the publish counter of the owning Solver: strictly increasing
 // across PublishSnapshot calls, never reused within a Solver's lifetime
-// (re-Attach keeps counting).  Readers use it to order snapshots and to
-// key them to an external history.
+// (re-Attach keeps counting, and a service-layer recovery advances past
+// every version that could have been observed before the crash).  Readers
+// use it to order snapshots and to key them to an external history.
 func (sn *Snapshot) Version() uint64 { return sn.version }
 
 // NumComponents is the exact number of connected components at the
@@ -44,34 +61,66 @@ func (sn *Snapshot) NumComponents() int { return sn.ncomp }
 // stable within one snapshot (ComponentOf(u) == ComponentOf(v) iff u and v
 // are connected) but may differ across snapshots even for an unchanged
 // partition — compare partitions, not raw labels, across versions.
-func (sn *Snapshot) ComponentOf(u int) int32 { return sn.labels[u] }
+func (sn *Snapshot) ComponentOf(u int) int32 {
+	return sn.labels[u>>pageShift][u&pageMask]
+}
 
 // Connected reports whether u and v are in the same component.
-func (sn *Snapshot) Connected(u, v int) bool { return sn.labels[u] == sn.labels[v] }
+func (sn *Snapshot) Connected(u, v int) bool {
+	return sn.ComponentOf(u) == sn.ComponentOf(v)
+}
 
 // ComponentSize returns the number of vertices in u's component.
-func (sn *Snapshot) ComponentSize(u int) int { return int(sn.sizes[sn.labels[u]]) }
+func (sn *Snapshot) ComponentSize(u int) int {
+	r := sn.ComponentOf(u)
+	return int(sn.sizes[r>>pageShift][r&pageMask])
+}
 
-// Labels exposes the flattened label array (labels[v] is v's
-// representative).  The slice is the snapshot's own storage: treat it as
-// read-only — writing to it would tear the view for every other reader.
-func (sn *Snapshot) Labels() []int32 { return sn.labels }
+// Labels returns the flattened label array (labels[v] is v's
+// representative).  The flat copy is materialized from the pages on first
+// call — O(n), amortized across all callers of the same snapshot — and is
+// the snapshot's own storage afterwards: treat it as read-only.  Point
+// queries never pay this; only bulk readers (the /snapshot endpoint,
+// equivalence tests) do.
+func (sn *Snapshot) Labels() []int32 {
+	sn.flatOnce.Do(func() {
+		flat := make([]int32, sn.n)
+		for pg, page := range sn.labels {
+			copy(flat[pg<<pageShift:], page)
+		}
+		sn.flat = flat
+	})
+	return sn.flat
+}
+
+// PublishedFull reports whether this snapshot was produced by a full O(n)
+// page build — the first publish after an Attach (or a service-layer
+// recovery) — rather than an O(delta) copy-on-write publish.  The serving
+// layer routes its publish-latency histogram on this.
+func (sn *Snapshot) PublishedFull() bool { return sn.full }
+
+// ClonedPages is the number of label/size pages the write groups between
+// the previous publish and this one cloned — the delta publish's cost in
+// pages (zero for a publish with no intervening writes, and for a full
+// build, whose cost is all of n instead).
+func (sn *Snapshot) ClonedPages() int { return sn.cloned }
 
 // PublishSnapshot captures the live partition into a fresh immutable
 // Snapshot and atomically installs it as the session's read view.  The
 // capture runs under the session lock (it serializes with AddEdges/
 // RemoveEdges, so it always sees a batch boundary, never a half-applied
-// one) and costs O(n) — two parallel passes on the session's runtime: a
-// flatten of the union-find forest when mutations left chains, then the
-// par.SnapshotLabels copy+count kernel.  The swap itself is a single
-// atomic pointer store: readers calling ReadView never block, and readers
-// holding the previous snapshot keep a consistent view for as long as they
-// keep the pointer.
+// one).  The first publish after an Attach pays one O(n) full page build;
+// every later publish is O(delta): deferred merge relabels are flushed
+// through the copy-on-write mirror (pages.go), the page headers are
+// copied, and every page untouched since the previous version is shared
+// with it.  The swap itself is a single atomic pointer store: readers
+// calling ReadView never block, and readers holding the previous snapshot
+// keep a consistent view for as long as they keep the pointer.
 //
 // Publishing is explicit rather than automatic so the incremental fast
 // path keeps its O(batch·α) cost: callers that want a fresh read view
 // after every mutation batch publish once per batch (what internal/service
-// does, amortizing the O(n) across all writes it coalesced into the
+// does, amortizing the cost across all writes it coalesced into the
 // batch); callers that only use Components/ComponentsInto never pay it.
 // Errors are the incremental taxonomy's: ErrSolverClosed, ErrNotAttached.
 func (s *Solver) PublishSnapshot() (*Snapshot, error) {
@@ -82,21 +131,48 @@ func (s *Solver) PublishSnapshot() (*Snapshot, error) {
 		return nil, err
 	}
 	e := s.casExec()
-	if inc.needsCompress {
-		par.Compress(e, inc.parent)
-		inc.needsCompress = false
+	full := false
+	if s.pages == nil {
+		if inc.needsCompress {
+			par.Compress(e, inc.parent)
+			inc.needsCompress = false
+		}
+		s.pages = newPageStore(e, inc.parent)
+		full = true
+	} else {
+		s.pages.flush(inc.parent)
 	}
-	n := inc.g.N
+	st := s.pages
 	sn := &Snapshot{
-		labels: make([]int32, n),
-		sizes:  make([]int32, n),
+		n:      st.n,
+		labels: append([][]int32(nil), st.labels...),
+		sizes:  append([][]int32(nil), st.sizes...),
 		ncomp:  inc.ncomp,
+		full:   full,
+		cloned: st.cloned,
 	}
-	par.SnapshotLabels(e, inc.parent, sn.labels, sn.sizes)
+	st.share()
 	s.snapVersion++
 	sn.version = s.snapVersion
 	s.snap.Store(sn)
 	return sn, nil
+}
+
+// AdvanceSnapshotVersion floors the session's publish counter at v: the
+// next PublishSnapshot stamps at least v+1.  It never moves the counter
+// backwards.  This is the recovery hook of the serving layer's write-ahead
+// log: replay applies the logged batches without their original
+// per-publish stamps, then advances the counter to the log's last durable
+// sequence number so the single post-replay publish is strictly newer than
+// any version a reader could have observed before the crash (the log is
+// fsync'd before the publish it seeds, so observed versions never exceed
+// durable sequence numbers).
+func (s *Solver) AdvanceSnapshotVersion(v uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.snapVersion < v {
+		s.snapVersion = v
+	}
 }
 
 // ReadView returns the most recently published snapshot without taking the
