@@ -31,6 +31,14 @@
 // several byte-truncation crash points — plus a publish-cost sweep
 // showing snapshot publishing is O(delta), not O(n): full-build vs
 // k-vertex delta publish latencies across n and k.
+//
+// -run repl switches to the replication chaos scenario
+// (BENCH_repl.json): real ccserved processes — a WAL-backed primary and
+// N -follow followers over loopback HTTP — with an oracle-tracked
+// sequential writer, kill -9 of the primary mid-write plus restart from
+// its log, every follower read verified against the oracle partition at
+// the version the follower reported, and a replica-scaling measurement
+// of aggregate follower read QPS at 1..N followers.
 package main
 
 import (
@@ -84,8 +92,14 @@ func main() {
 		seed        = flag.Uint64("seed", 1, "random seed")
 		baselineDur = flag.Duration("baseline-dur", 2*time.Second, "duration of the naive full-solve baseline run (0 disables)")
 		out         = flag.String("out", "", "write the JSON table here (default stdout)")
-		run         = flag.String("run", "qps", "scenario: qps (throughput sweep) | wal (durability: crash recovery + publish-cost sweep)")
+		run         = flag.String("run", "qps", "scenario: qps (throughput sweep) | wal (durability: crash recovery + publish-cost sweep) | repl (replication chaos: follower processes + primary kill -9)")
 		walBatches  = flag.Int("wal-batches", 400, "acknowledged write batches in the -run wal stream")
+
+		replFollowers = flag.Int("repl-followers", 2, "follower processes in the -run repl topology")
+		replKills     = flag.Int("repl-kills", 3, "primary kill -9 cycles in -run repl")
+		replBatches   = flag.Int("repl-batches", 120, "acknowledged write batches in the -run repl stream")
+		replN         = flag.Int("repl-n", 8192, "vertices in the -run repl chaos graph")
+		ccservedPath  = flag.String("ccserved", "", "ccserved binary for -run repl (default: $PATH, else go build ./cmd/ccserved)")
 	)
 	flag.Parse()
 
@@ -99,8 +113,12 @@ func main() {
 			TrustGraph: true,
 		}, *n, *deg, *block, *batch, *walBatches, *seed, *out)
 		return
+	case "repl":
+		runReplScenario(strings.ToLower(*backend), *replN, *deg, *block, *batch, *replBatches,
+			*replFollowers, *replKills, *dur, *seed, *ccservedPath, *out)
+		return
 	default:
-		fmt.Fprintf(os.Stderr, "ccload: unknown -run %q (want qps or wal)\n", *run)
+		fmt.Fprintf(os.Stderr, "ccload: unknown -run %q (want qps, wal, or repl)\n", *run)
 		os.Exit(1)
 	}
 

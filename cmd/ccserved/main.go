@@ -19,18 +19,31 @@
 // Observability: GET /metrics exposes the engine's Prometheus counters and
 // the snapshot-publish latency histogram; GET /graphs/{name}/trace returns
 // the session's last solve-phase trace (-trace, on by default); -pprof
-// mounts net/http/pprof under /debug/pprof/ (off by default).
+// mounts net/http/pprof under /debug/pprof/ (off by default).  GET /healthz
+// is pure liveness (200 while the process serves); GET /readyz is
+// readiness — 503 while recovering from the WAL or, on a follower, while
+// replication lags beyond -max-lag.
 //
 // Durability: -wal-dir enables a per-graph write-ahead log — every applied
 // mutation group is logged and (by default) fsync'd before its callers are
 // released, and the logs are replayed on startup, reconstructing every
 // graph at its last durable state (-fsync=false trades that guarantee for
-// append latency; see docs/OPERATIONS.md §durability).
+// append latency; see docs/OPERATIONS.md §durability).  On clean shutdown
+// each log is compacted to a checkpoint of the live state.
+//
+// Replication: -follow http://primary:8080 runs this process as a
+// read-only follower — it discovers the primary's graphs, tails each
+// graph's WAL stream (GET /graphs/{name}/wal), re-applies committed groups
+// through real sessions, and serves every read endpoint at exactly the
+// versions the primary's log assigned.  Writes are rejected with 409 and
+// the primary's URL; -max-lag bounds staleness (see docs/OPERATIONS.md
+// §replication).
 //
 // On SIGINT/SIGTERM the server drains gracefully, in dependency order:
-// in-flight HTTP requests finish, queued mutation batches are applied
-// (each group logged and fsync'd as it lands), the WAL handles are closed,
-// then every session is released.
+// in-flight HTTP requests finish, replication stops (follower), queued
+// mutation batches are applied (each group logged and fsync'd as it
+// lands), the WAL handles are checkpointed and closed, then every session
+// is released.
 package main
 
 import (
@@ -48,6 +61,7 @@ import (
 
 	"parcc"
 	"parcc/internal/cli"
+	"parcc/internal/repl"
 	"parcc/internal/service"
 )
 
@@ -67,6 +81,18 @@ func main() {
 		noForest = flag.Bool("no-forest", false, "disable spanning-forest deletion handling; every deletion takes the scoped re-solve (debugging / A-B measurement)")
 		walDir   = flag.String("wal-dir", "", "write-ahead-log directory: every applied mutation group is logged there before callers are released, and the logs are replayed on startup (empty = durability off)")
 		fsync    = flag.Bool("fsync", true, "fsync the WAL after every coalesced group; -fsync=false trades crash durability for append latency")
+
+		// Replication.
+		follow = flag.String("follow", "", "run as a read-only follower of the primary at this base URL (e.g. http://primary:8080); writes are rejected with 409")
+		maxLag = flag.Duration("max-lag", 5*time.Second, "follower bounded staleness: /readyz reports 503 once replication lags the primary's head by more than this")
+
+		// HTTP server hardening.  The WAL stream endpoint exempts itself
+		// from the write timeout via a per-request deadline.
+		readHeaderTO = flag.Duration("read-header-timeout", 10*time.Second, "http.Server ReadHeaderTimeout: slow-loris guard on request headers")
+		readTO       = flag.Duration("read-timeout", 2*time.Minute, "http.Server ReadTimeout: full-request read deadline (covers large mutation bodies)")
+		writeTO      = flag.Duration("write-timeout", 2*time.Minute, "http.Server WriteTimeout: response write deadline (the replication stream is exempt)")
+		idleTO       = flag.Duration("idle-timeout", 2*time.Minute, "http.Server IdleTimeout: keep-alive connection reap")
+		maxBody      = flag.Int64("max-body", 64<<20, "max mutation request body bytes (413 beyond it; <0 disables the cap)")
 	)
 	var preloads []string
 	flag.Func("preload", "name=genspec graph to create at startup (repeatable), e.g. web=expander:n=65536,d=8", func(s string) error {
@@ -81,20 +107,35 @@ func main() {
 		fmt.Fprintf(os.Stderr, "ccserved: unknown backend %q (want sequential or concurrent)\n", *backend)
 		os.Exit(1)
 	}
+	if *follow != "" {
+		// A follower's state comes from the primary's logs, not its own:
+		// local durability and preloads contradict that.
+		if *walDir != "" {
+			fmt.Fprintln(os.Stderr, "ccserved: -follow and -wal-dir are mutually exclusive (the primary's WAL is the follower's source of truth)")
+			os.Exit(1)
+		}
+		if len(preloads) > 0 {
+			fmt.Fprintln(os.Stderr, "ccserved: -follow and -preload are mutually exclusive (a follower's graphs come from the primary)")
+			os.Exit(1)
+		}
+	}
+	solverOpt := &parcc.Options{
+		Backend:    parcc.Backend(strings.ToLower(*backend)),
+		Procs:      *procs,
+		Seed:       *seed,
+		TrustGraph: *trust,
+		Trace:      *trace,
+		NoForest:   *noForest,
+	}
 	eng := service.New(service.Options{
-		Solver: &parcc.Options{
-			Backend:    parcc.Backend(strings.ToLower(*backend)),
-			Procs:      *procs,
-			Seed:       *seed,
-			TrustGraph: *trust,
-			Trace:      *trace,
-			NoForest:   *noForest,
-		},
+		Solver:         solverOpt,
 		CoalesceWindow: *window,
 		MaxBatchEdges:  *maxBatch,
 		QueueDepth:     *queue,
 		WALDir:         *walDir,
 		NoFsync:        !*fsync,
+		ReadOnly:       *follow != "",
+		Primary:        *follow,
 	})
 
 	if *walDir != "" {
@@ -130,8 +171,34 @@ func main() {
 		log.Printf("preloaded %q: n=%d m=%d", name, g.N, g.M())
 	}
 
-	handler := service.NewHandlerOpts(eng, service.HandlerOptions{Pprof: *pprofOn})
-	srv := &http.Server{Addr: *addr, Handler: handler}
+	var follower *repl.Follower
+	handlerOpts := service.HandlerOptions{Pprof: *pprofOn, MaxBodyBytes: *maxBody}
+	if *follow != "" {
+		var err error
+		follower, err = repl.New(repl.Options{
+			Primary: *follow,
+			Engine:  eng,
+			Solver:  solverOpt,
+			MaxLag:  *maxLag,
+		})
+		if err != nil {
+			log.Fatalf("ccserved: follower: %v", err)
+		}
+		follower.RegisterMetrics(eng.Registry())
+		handlerOpts.Readiness = follower.Ready
+		follower.Start()
+		log.Printf("following primary %s (max lag %v); writes are rejected with 409", *follow, *maxLag)
+	}
+
+	handler := service.NewHandlerOpts(eng, handlerOpts)
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           handler,
+		ReadHeaderTimeout: *readHeaderTO,
+		ReadTimeout:       *readTO,
+		WriteTimeout:      *writeTO,
+		IdleTimeout:       *idleTO,
+	}
 	go func() {
 		log.Printf("ccserved listening on %s", *addr)
 		if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
@@ -148,6 +215,9 @@ func main() {
 	if err := srv.Shutdown(ctx); err != nil {
 		log.Printf("ccserved: forced shutdown: %v", err)
 	}
-	eng.Close() // applies+logs queued mutation batches, closes WALs, releases sessions
+	if follower != nil {
+		follower.Stop() // stop tailing before the engine releases sessions
+	}
+	eng.Close() // applies+logs queued batches, checkpoints+closes WALs, releases sessions
 	log.Printf("ccserved: drained")
 }

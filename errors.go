@@ -30,6 +30,11 @@ import (
 //	                    error carries the file, byte offset, reason, and
 //	                    whether the damage is a torn tail (tolerated on
 //	                    recovery) or mid-log corruption (fatal).
+//	ErrReadOnlyReplica / *ReadOnlyReplicaError — the serving layer is a
+//	                    follower replica: it tails a primary's write-ahead
+//	                    log and serves reads, but accepts no writes.  The
+//	                    typed carrier names the primary to write to
+//	                    (mapped to HTTP 409 by internal/service).
 //
 // All mutating calls fail without mutating: an error from AddEdges or
 // RemoveEdges leaves the live graph, the partition, and the published
@@ -97,6 +102,30 @@ type WALCorruptionError struct {
 	Reason string
 	Torn   bool
 }
+
+// ErrReadOnlyReplica reports a mutation sent to a follower replica.
+// Followers reconstruct their graphs from a primary's write-ahead-log
+// stream; accepting a local write would fork the replicated history, so
+// every mutating call is rejected.  Match with errors.Is; the concrete
+// error is a *ReadOnlyReplicaError naming the primary.
+var ErrReadOnlyReplica = errors.New("parcc: replica is read-only")
+
+// ReadOnlyReplicaError is the carrier behind ErrReadOnlyReplica: it names
+// the primary that accepts writes for this replica's graphs, so clients
+// (and the HTTP 409 response body) can redirect instead of retrying here.
+type ReadOnlyReplicaError struct {
+	Primary string // base URL of the primary, "" when not configured
+}
+
+func (e *ReadOnlyReplicaError) Error() string {
+	if e.Primary == "" {
+		return "parcc: replica is read-only"
+	}
+	return fmt.Sprintf("parcc: replica is read-only (writes go to primary %s)", e.Primary)
+}
+
+// Unwrap makes errors.Is(err, ErrReadOnlyReplica) match the carrier.
+func (e *ReadOnlyReplicaError) Unwrap() error { return ErrReadOnlyReplica }
 
 func (e *WALCorruptionError) Error() string {
 	kind := "corrupt"

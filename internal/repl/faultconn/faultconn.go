@@ -1,0 +1,135 @@
+// Package faultconn wraps a repl.Transport with deterministic fault
+// injection for replication-robustness tests: connection attempts that
+// fail, reads that stall, and connections that are severed after a byte
+// budget — which, being frame-oblivious, routinely cuts the stream in
+// the middle of a frame (exactly the torn read a real network delivers).
+//
+// All randomness derives from Plan.Seed: given the same seed and the
+// same sequence of Stream calls, the injected schedule is identical, so
+// a failing schedule is replayable.
+package faultconn
+
+import (
+	"context"
+	"errors"
+	"io"
+	"math/rand"
+	"sync"
+	"time"
+
+	"parcc/internal/repl"
+)
+
+// ErrInjected marks every failure this package fabricates.
+var ErrInjected = errors.New("faultconn: injected fault")
+
+// Plan is a deterministic fault schedule.
+type Plan struct {
+	// Seed drives every random choice below.
+	Seed int64
+	// ConnectFailEvery makes every k-th Stream call fail outright
+	// (0: connects never fail).
+	ConnectFailEvery int
+	// SeverAfterMin/Max bound the per-connection byte budget: after a
+	// uniformly drawn budget in [Min, Max] bytes, the connection is
+	// severed — usually mid-frame (0 Max: never severed).
+	SeverAfterMin, SeverAfterMax int
+	// Delay is the maximum uniform per-read delay (0: no delays).
+	Delay time.Duration
+}
+
+// Transport injects Plan's faults into an inner repl.Transport.
+type Transport struct {
+	inner repl.Transport
+	plan  Plan
+
+	mu    sync.Mutex
+	rng   *rand.Rand
+	conns int
+
+	// Severs counts injected connection cuts; Fails counts injected
+	// connect failures (read with the Counts method).
+	severs, fails int
+}
+
+// New wraps inner with plan.
+func New(inner repl.Transport, plan Plan) *Transport {
+	return &Transport{inner: inner, plan: plan, rng: rand.New(rand.NewSource(plan.Seed))}
+}
+
+// Counts reports (injected connect failures, injected severs) so tests
+// can assert the schedule actually fired.
+func (t *Transport) Counts() (fails, severs int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.fails, t.severs
+}
+
+// Names passes discovery through unfaulted — the tailer stream is the
+// machinery under test.
+func (t *Transport) Names(ctx context.Context) ([]string, error) {
+	return t.inner.Names(ctx)
+}
+
+// Stream opens the inner stream behind a fault-injecting reader, or
+// fails outright per the plan.
+func (t *Transport) Stream(ctx context.Context, name string, from, epoch uint64) (io.ReadCloser, error) {
+	t.mu.Lock()
+	t.conns++
+	fail := t.plan.ConnectFailEvery > 0 && t.conns%t.plan.ConnectFailEvery == 0
+	budget := -1
+	if t.plan.SeverAfterMax > 0 {
+		lo, hi := t.plan.SeverAfterMin, t.plan.SeverAfterMax
+		if hi < lo {
+			hi = lo
+		}
+		budget = lo + t.rng.Intn(hi-lo+1)
+	}
+	var delay time.Duration
+	if t.plan.Delay > 0 {
+		delay = time.Duration(t.rng.Int63n(int64(t.plan.Delay)))
+	}
+	if fail {
+		t.fails++
+	}
+	t.mu.Unlock()
+	if fail {
+		return nil, ErrInjected
+	}
+	rc, err := t.inner.Stream(ctx, name, from, epoch)
+	if err != nil {
+		return nil, err
+	}
+	return &faultReader{t: t, rc: rc, budget: budget, delay: delay}, nil
+}
+
+// faultReader enforces one connection's byte budget and read delay.
+type faultReader struct {
+	t      *Transport
+	rc     io.ReadCloser
+	budget int // bytes until sever; -1 = unlimited
+	delay  time.Duration
+}
+
+func (r *faultReader) Read(p []byte) (int, error) {
+	if r.delay > 0 {
+		time.Sleep(r.delay)
+	}
+	if r.budget == 0 {
+		r.t.mu.Lock()
+		r.t.severs++
+		r.t.mu.Unlock()
+		r.rc.Close()
+		return 0, ErrInjected
+	}
+	if r.budget > 0 && len(p) > r.budget {
+		p = p[:r.budget]
+	}
+	n, err := r.rc.Read(p)
+	if r.budget > 0 {
+		r.budget -= n
+	}
+	return n, err
+}
+
+func (r *faultReader) Close() error { return r.rc.Close() }

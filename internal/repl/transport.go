@@ -1,0 +1,93 @@
+package repl
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"time"
+)
+
+// Transport is the follower's seam to its primary: graph discovery plus
+// the per-graph replication stream.  The production implementation is
+// HTTP against a ccserved primary; tests and the fault-injection layer
+// (repl/faultconn) substitute their own.
+type Transport interface {
+	// Names lists the primary's live graphs.
+	Names(ctx context.Context) ([]string, error)
+	// Stream opens the replication stream for name, resuming past the
+	// follower's last applied seq on the log identified by epoch (both
+	// zero for a fresh follower).  The returned reader yields the wire
+	// format of service.ReadStreamFrame and stays open across the
+	// long-poll tail; it must unblock when ctx is canceled.
+	Stream(ctx context.Context, name string, from, epoch uint64) (io.ReadCloser, error)
+}
+
+// httpTransport speaks to a ccserved primary.
+type httpTransport struct {
+	base string // primary base URL, no trailing slash
+	// short-request client (discovery): bounded end to end.
+	names *http.Client
+	// streaming client: bounded connect + response header, unbounded body
+	// (the stream IS unbounded; stalls are the tailer watchdog's job).
+	stream *http.Client
+}
+
+// NewHTTPTransport returns the production Transport for a primary at
+// base (e.g. "http://127.0.0.1:8080").
+func NewHTTPTransport(base string) Transport {
+	for len(base) > 0 && base[len(base)-1] == '/' {
+		base = base[:len(base)-1]
+	}
+	return &httpTransport{
+		base:  base,
+		names: &http.Client{Timeout: 5 * time.Second},
+		stream: &http.Client{Transport: &http.Transport{
+			ResponseHeaderTimeout: 5 * time.Second,
+			MaxIdleConnsPerHost:   4,
+		}},
+	}
+}
+
+func (t *httpTransport) Names(ctx context.Context) ([]string, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, t.base+"/graphs", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := t.names.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("repl: primary /graphs: %s", resp.Status)
+	}
+	var body struct {
+		Graphs []string `json:"graphs"`
+	}
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 16<<20)).Decode(&body); err != nil {
+		return nil, fmt.Errorf("repl: primary /graphs: %w", err)
+	}
+	return body.Graphs, nil
+}
+
+func (t *httpTransport) Stream(ctx context.Context, name string, from, epoch uint64) (io.ReadCloser, error) {
+	u := t.base + "/graphs/" + url.PathEscape(name) + "/wal?from=" +
+		strconv.FormatUint(from, 10) + "&epoch=" + strconv.FormatUint(epoch, 10)
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := t.stream.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		resp.Body.Close()
+		return nil, fmt.Errorf("repl: primary wal stream %q: %s", name, resp.Status)
+	}
+	return resp.Body, nil
+}

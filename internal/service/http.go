@@ -24,9 +24,19 @@ import (
 //
 //	400  *VertexRangeError, *parcc.EdgeRangeError, malformed JSON/params
 //	404  ErrGraphNotFound, ErrNoTrace
-//	409  ErrGraphExists, *parcc.MissingEdgeError
-//	503  ErrEngineClosed (draining)
+//	409  ErrGraphExists, *parcc.MissingEdgeError,
+//	     parcc.ErrReadOnlyReplica (body carries the primary hint),
+//	     ErrWALDisabled (compact/stream need a log)
+//	413  *http.MaxBytesError (mutation body over the cap)
+//	503  ErrEngineClosed (draining), parcc.ErrRecovering (replaying),
+//	     *StaleVersionError (?min_version= newer than the snapshot)
 //	500  anything else
+//
+// Health probes are split: GET /healthz is liveness (200 whenever the
+// process serves HTTP at all) and GET /readyz is readiness — 503 while
+// recovering or while a follower lags its primary beyond -max-lag; wait
+// loops and load balancers should gate on /readyz
+// (docs/OPERATIONS.md §replication).
 type apiError struct {
 	Error string `json:"error"`
 }
@@ -37,6 +47,29 @@ type HandlerOptions struct {
 	// the profiling endpoints expose heap contents and should only be
 	// enabled on trusted networks (ccserved -pprof).
 	Pprof bool
+	// Readiness, when set, adds a veto to GET /readyz: a non-nil return
+	// makes readiness report 503 with the error's text.  ccserved wires
+	// the replication follower's lag check through this seam (the service
+	// package must not import the replication layer).
+	Readiness func() error
+	// MaxBodyBytes caps mutation request bodies (create, add, remove,
+	// batch); over-cap requests fail with 413.  Zero means the default
+	// (64 MiB); negative disables the cap.
+	MaxBodyBytes int64
+	// StreamHeartbeat bounds how long an idle replication stream goes
+	// without a commit heartbeat (default 1s) — the follower's freshness
+	// clock ticks on these.
+	StreamHeartbeat time.Duration
+}
+
+func (o HandlerOptions) withDefaults() HandlerOptions {
+	if o.MaxBodyBytes == 0 {
+		o.MaxBodyBytes = 64 << 20
+	}
+	if o.StreamHeartbeat <= 0 {
+		o.StreamHeartbeat = time.Second
+	}
+	return o
 }
 
 // NewHandler returns the engine's HTTP API with the default options
@@ -47,8 +80,31 @@ func NewHandler(e *Engine) http.Handler {
 
 // NewHandlerOpts returns the engine's HTTP API.
 func NewHandlerOpts(e *Engine, opts HandlerOptions) http.Handler {
+	opts = opts.withDefaults()
+	capBody := func(w http.ResponseWriter, r *http.Request) {
+		if opts.MaxBodyBytes > 0 {
+			r.Body = http.MaxBytesReader(w, r.Body, opts.MaxBodyBytes)
+		}
+	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		// Liveness: the process is up and serving.  Recovering and lagging
+		// states still answer 200 here — restarts don't fix either.
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
+		if e.Recovering() {
+			writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "recovering"})
+			return
+		}
+		if opts.Readiness != nil {
+			if err := opts.Readiness(); err != nil {
+				writeJSON(w, http.StatusServiceUnavailable, map[string]string{
+					"status": "unready", "reason": err.Error(),
+				})
+				return
+			}
+		}
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
 	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, r *http.Request) {
@@ -81,12 +137,13 @@ func NewHandlerOpts(e *Engine, opts HandlerOptions) http.Handler {
 		writeJSON(w, http.StatusOK, map[string]any{"graphs": e.Names()})
 	})
 	mux.HandleFunc("PUT /graphs/{name}", func(w http.ResponseWriter, r *http.Request) {
+		capBody(w, r)
 		var body struct {
 			N     int        `json:"n"`
 			Edges [][2]int32 `json:"edges"`
 		}
 		if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
-			writeJSON(w, http.StatusBadRequest, apiError{"invalid JSON body: " + err.Error()})
+			writeBodyError(w, err)
 			return
 		}
 		if body.N < 0 {
@@ -126,10 +183,21 @@ func NewHandlerOpts(e *Engine, opts HandlerOptions) http.Handler {
 		}
 		w.WriteHeader(http.StatusNoContent)
 	})
-	mux.HandleFunc("POST /graphs/{name}/edges", mutateHandler(e, false))
-	mux.HandleFunc("POST /graphs/{name}/edges/remove", mutateHandler(e, true))
+	mux.HandleFunc("POST /graphs/{name}/edges", mutateHandler(e, false, capBody))
+	mux.HandleFunc("POST /graphs/{name}/edges/remove", mutateHandler(e, true, capBody))
+	mux.HandleFunc("GET /graphs/{name}/wal", func(w http.ResponseWriter, r *http.Request) {
+		e.streamWAL(w, r, opts.StreamHeartbeat)
+	})
+	mux.HandleFunc("POST /graphs/{name}/compact", func(w http.ResponseWriter, r *http.Request) {
+		name := r.PathValue("name")
+		if err := e.Compact(name); err != nil {
+			writeError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"graph": name, "compacted": true})
+	})
 	mux.HandleFunc("GET /graphs/{name}/connected", func(w http.ResponseWriter, r *http.Request) {
-		sn, err := e.Snapshot(r.PathValue("name"))
+		sn, err := snapshotMin(e, r)
 		if err != nil {
 			writeError(w, err)
 			return
@@ -149,7 +217,7 @@ func NewHandlerOpts(e *Engine, opts HandlerOptions) http.Handler {
 		})
 	})
 	mux.HandleFunc("GET /graphs/{name}/component", func(w http.ResponseWriter, r *http.Request) {
-		sn, err := e.Snapshot(r.PathValue("name"))
+		sn, err := snapshotMin(e, r)
 		if err != nil {
 			writeError(w, err)
 			return
@@ -165,7 +233,7 @@ func NewHandlerOpts(e *Engine, opts HandlerOptions) http.Handler {
 		})
 	})
 	mux.HandleFunc("GET /graphs/{name}/count", func(w http.ResponseWriter, r *http.Request) {
-		sn, err := e.Snapshot(r.PathValue("name"))
+		sn, err := snapshotMin(e, r)
 		if err != nil {
 			writeError(w, err)
 			return
@@ -175,7 +243,7 @@ func NewHandlerOpts(e *Engine, opts HandlerOptions) http.Handler {
 		})
 	})
 	mux.HandleFunc("GET /graphs/{name}/snapshot", func(w http.ResponseWriter, r *http.Request) {
-		sn, err := e.Snapshot(r.PathValue("name"))
+		sn, err := snapshotMin(e, r)
 		if err != nil {
 			writeError(w, err)
 			return
@@ -186,18 +254,40 @@ func NewHandlerOpts(e *Engine, opts HandlerOptions) http.Handler {
 		})
 	})
 	mux.HandleFunc("POST /graphs/{name}/batch", func(w http.ResponseWriter, r *http.Request) {
+		capBody(w, r)
 		batchHandler(e, w, r)
 	})
 	return mux
 }
 
-func mutateHandler(e *Engine, remove bool) http.HandlerFunc {
+// snapshotMin resolves the request's snapshot, honoring the
+// bounded-staleness contract: with ?min_version=V, a published snapshot
+// older than V is refused with a *StaleVersionError (503) instead of
+// served stale — the caller retries, or asks a fresher replica.
+func snapshotMin(e *Engine, r *http.Request) (*parcc.Snapshot, error) {
+	name := r.PathValue("name")
+	sn, err := e.Snapshot(name)
+	if err != nil {
+		return nil, err
+	}
+	mv, err := queryUint(r, "min_version")
+	if err != nil {
+		return nil, err
+	}
+	if mv > 0 && sn.Version() < mv {
+		return nil, &StaleVersionError{Graph: name, Have: sn.Version(), MinVersion: mv}
+	}
+	return sn, nil
+}
+
+func mutateHandler(e *Engine, remove bool, capBody func(http.ResponseWriter, *http.Request)) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
+		capBody(w, r)
 		var body struct {
 			Edges [][2]int32 `json:"edges"`
 		}
 		if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
-			writeJSON(w, http.StatusBadRequest, apiError{"invalid JSON body: " + err.Error()})
+			writeBodyError(w, err)
 			return
 		}
 		name := r.PathValue("name")
@@ -345,6 +435,18 @@ func queryVertex(r *http.Request, key string, n int) (int, error) {
 	return v, nil
 }
 
+// writeBodyError classifies a request-body decode failure: an over-cap
+// body is a 413 (the MaxBytesReader tripped), anything else malformed
+// JSON (400).
+func writeBodyError(w http.ResponseWriter, err error) {
+	var mb *http.MaxBytesError
+	if errors.As(err, &mb) {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusBadRequest, apiError{"invalid JSON body: " + err.Error()})
+}
+
 func writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
@@ -353,21 +455,35 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 
 // writeError maps the typed error taxonomy onto HTTP statuses.
 func writeError(w http.ResponseWriter, err error) {
+	var roe *parcc.ReadOnlyReplicaError
+	if errors.As(err, &roe) {
+		// The 409 body names the primary so clients redirect, not retry.
+		writeJSON(w, http.StatusConflict, map[string]string{
+			"error": roe.Error(), "primary": roe.Primary,
+		})
+		return
+	}
 	var (
 		vr *VertexRangeError
 		re *parcc.EdgeRangeError
 		me *parcc.MissingEdgeError
+		sv *StaleVersionError
+		mb *http.MaxBytesError
 	)
 	status := http.StatusInternalServerError
 	switch {
 	case errors.Is(err, ErrGraphNotFound), errors.Is(err, ErrNoTrace):
 		status = http.StatusNotFound
-	case errors.Is(err, ErrGraphExists), errors.As(err, &me):
+	case errors.Is(err, ErrGraphExists), errors.As(err, &me),
+		errors.Is(err, ErrWALDisabled), errors.Is(err, parcc.ErrReadOnlyReplica):
 		status = http.StatusConflict
+	case errors.As(err, &mb):
+		status = http.StatusRequestEntityTooLarge
 	case errors.As(err, &vr), errors.As(err, &re),
 		errors.Is(err, parcc.ErrNilGraph), errors.Is(err, errBadParam):
 		status = http.StatusBadRequest
-	case errors.Is(err, ErrEngineClosed), errors.Is(err, parcc.ErrRecovering):
+	case errors.Is(err, ErrEngineClosed), errors.Is(err, parcc.ErrRecovering),
+		errors.As(err, &sv):
 		status = http.StatusServiceUnavailable
 	}
 	writeJSON(w, status, apiError{err.Error()})

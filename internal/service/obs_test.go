@@ -35,6 +35,11 @@ var requiredMetrics = []string{
 	"parcc_wal_replay_records_total",
 	"parcc_wal_replay_edges_total",
 	"parcc_wal_replay_seconds",
+	"parcc_wal_checkpoints_total",
+	"parcc_wal_stream_conns_total",
+	"parcc_wal_stream_conns_active",
+	"parcc_wal_stream_frames_total",
+	"parcc_wal_stream_bytes_total",
 	"parcc_shard_reads_total",
 	"parcc_shard_writes_total",
 	"parcc_shard_edges",

@@ -52,6 +52,25 @@ var ErrGraphExists = errors.New("service: graph already exists")
 // operation has completed yet.
 var ErrNoTrace = errors.New("service: no trace recorded")
 
+// ErrWALDisabled reports a WAL-dependent call (log streaming, compaction)
+// on an engine running without Options.WALDir.
+var ErrWALDisabled = errors.New("service: write-ahead log disabled")
+
+// StaleVersionError reports a read that demanded a snapshot at least as
+// new as MinVersion (?min_version=) from a session whose published
+// snapshot is older — the bounded-staleness contract's refusal.  Mapped to
+// HTTP 503 so a fresh retry (or another replica) can satisfy it.
+type StaleVersionError struct {
+	Graph      string
+	Have       uint64 // the published snapshot's version
+	MinVersion uint64 // what the caller demanded
+}
+
+func (e *StaleVersionError) Error() string {
+	return fmt.Sprintf("service: graph %q snapshot version %d is older than required min_version %d",
+		e.Graph, e.Have, e.MinVersion)
+}
+
 // VertexRangeError reports a point query with a vertex outside [0, N).
 type VertexRangeError struct {
 	V int // the offending vertex
@@ -94,6 +113,15 @@ type Options struct {
 	// append latency (docs/OPERATIONS.md §durability).  Ignored when
 	// WALDir is empty.
 	NoFsync bool
+	// ReadOnly makes the engine a follower replica: every mutating call
+	// (Create, Drop, AddEdges, RemoveEdges, Compact) fails with a
+	// *parcc.ReadOnlyReplicaError, and sessions are installed only through
+	// InstallReplica by the replication layer tailing a primary's logs.
+	ReadOnly bool
+	// Primary is the base URL of the primary that accepts writes for this
+	// replica's graphs; it rides in the ReadOnlyReplicaError (and the HTTP
+	// 409 body) so clients can redirect instead of retrying here.
+	Primary string
 }
 
 func (o Options) withDefaults() Options {
@@ -144,6 +172,11 @@ type Engine struct {
 	// walErrs counts groups whose WAL append failed (the in-memory apply
 	// still published; the callers got the error — see shard.apply).
 	walErrs atomic.Uint64
+	// WAL streaming counters (the replication endpoint in stream.go).
+	streamConns  atomic.Uint64 // stream requests accepted
+	streamActive atomic.Int64  // streams currently open
+	streamFrames atomic.Uint64 // frames sent to followers
+	streamBytes  atomic.Uint64 // bytes sent to followers
 	// Replay totals of the last Recover, for the metrics surface.
 	replayRecords atomic.Uint64
 	replayEdges   atomic.Uint64
@@ -244,8 +277,8 @@ func (e *Engine) registerMetrics() {
 		func(w io.Writer, name string) {
 			var total uint64
 			e.eachShard(func(sh *shard) {
-				if sh.wal != nil {
-					total += sh.wal.appends.Load()
+				if w := sh.wal.Load(); w != nil {
+					total += w.appends.Load()
 				}
 			})
 			fmt.Fprintf(w, "%s %d\n", name, total)
@@ -255,8 +288,8 @@ func (e *Engine) registerMetrics() {
 		func(w io.Writer, name string) {
 			var total uint64
 			e.eachShard(func(sh *shard) {
-				if sh.wal != nil {
-					total += sh.wal.bytes.Load()
+				if w := sh.wal.Load(); w != nil {
+					total += w.bytes.Load()
 				}
 			})
 			fmt.Fprintf(w, "%s %d\n", name, total)
@@ -266,8 +299,8 @@ func (e *Engine) registerMetrics() {
 		func(w io.Writer, name string) {
 			var total uint64
 			e.eachShard(func(sh *shard) {
-				if sh.wal != nil {
-					total += sh.wal.fsyncs.Load()
+				if w := sh.wal.Load(); w != nil {
+					total += w.fsyncs.Load()
 				}
 			})
 			fmt.Fprintf(w, "%s %d\n", name, total)
@@ -290,6 +323,35 @@ func (e *Engine) registerMetrics() {
 	e.reg.GaugeFunc("parcc_wal_replay_seconds",
 		"Wall time of the last Recover's replay.",
 		func() float64 { return time.Duration(e.replayNanos.Load()).Seconds() })
+	e.reg.Collect("parcc_wal_checkpoints_total",
+		"Write-ahead-log checkpoint rewrites (compaction), summed over all sessions.", "counter",
+		func(w io.Writer, name string) {
+			var total uint64
+			e.eachShard(func(sh *shard) {
+				if w := sh.wal.Load(); w != nil {
+					total += w.checkpoints.Load()
+				}
+			})
+			fmt.Fprintf(w, "%s %d\n", name, total)
+		})
+	e.reg.Collect("parcc_wal_stream_conns_total",
+		"Replication stream requests accepted.", "counter",
+		func(w io.Writer, name string) {
+			fmt.Fprintf(w, "%s %d\n", name, e.streamConns.Load())
+		})
+	e.reg.GaugeFunc("parcc_wal_stream_conns_active",
+		"Replication streams currently open.",
+		func() float64 { return float64(e.streamActive.Load()) })
+	e.reg.Collect("parcc_wal_stream_frames_total",
+		"Frames sent on replication streams (including commit heartbeats).", "counter",
+		func(w io.Writer, name string) {
+			fmt.Fprintf(w, "%s %d\n", name, e.streamFrames.Load())
+		})
+	e.reg.Collect("parcc_wal_stream_bytes_total",
+		"Bytes sent on replication streams.", "counter",
+		func(w io.Writer, name string) {
+			fmt.Fprintf(w, "%s %d\n", name, e.streamBytes.Load())
+		})
 	e.reg.Collect("parcc_shard_reads_total",
 		"Point queries served, per session.", "counter",
 		e.perShard(func(sh *shard) string { return fmt.Sprintf("%d", sh.reads.Load()) }))
@@ -338,6 +400,35 @@ func (e *Engine) perShard(value func(sh *shard) string) func(io.Writer, string) 
 // exposition format — the body of GET /metrics.
 func (e *Engine) WriteMetrics(w io.Writer) { e.reg.WritePrometheus(w) }
 
+// Registry exposes the engine's metrics registry so cooperating layers
+// (the replication follower) can add their own series to the same
+// /metrics surface.
+func (e *Engine) Registry() *obs.Registry { return e.reg }
+
+// Recovering reports whether Recover is still replaying write-ahead logs
+// (the readiness probe's recovering state).
+func (e *Engine) Recovering() bool { return e.recovering.Load() }
+
+// ReadOnly reports whether the engine is a follower replica.
+func (e *Engine) ReadOnly() bool { return e.opt.ReadOnly }
+
+// Primary returns the configured primary hint of a read-only engine.
+func (e *Engine) Primary() string { return e.opt.Primary }
+
+// walHandle resolves the named shard's log handle for the streaming
+// endpoint.
+func (e *Engine) walHandle(name string) (*walWriter, error) {
+	sh, err := e.lookup(name)
+	if err != nil {
+		return nil, err
+	}
+	w := sh.wal.Load()
+	if w == nil {
+		return nil, ErrWALDisabled
+	}
+	return w, nil
+}
+
 // Since returns the engine's start time.
 func (e *Engine) Since() time.Time { return e.start }
 
@@ -365,8 +456,12 @@ func (e *Engine) Trace(name string) (*parcc.Trace, error) {
 // is published, so the caller's subsequent reads see its write.
 type mutation struct {
 	remove bool
-	batch  []parcc.Edge
-	err    chan error
+	// compact marks a log-compaction barrier instead of a batch: the writer
+	// checkpoints the WAL between groups (never inside one), so the
+	// checkpoint's state is exactly the log's state at its seq.
+	compact bool
+	batch   []parcc.Edge
+	err     chan error
 }
 
 // shard is one named live session: the incremental solver, its mutation
@@ -384,8 +479,14 @@ type shard struct {
 	// wal is the shard's write-ahead-log handle (nil: durability off).
 	// Appended to only by the writer goroutine, after a group is applied
 	// and before its snapshot is published and its callers released.
-	wal     *walWriter
+	// Atomic because it is published after the shard is registered, while
+	// metric collectors and the stream endpoint may already be reading.
+	wal     atomic.Pointer[walWriter]
 	walErrs *atomic.Uint64 // engine-wide append-failure counter
+	// replica marks a follower-installed shard: no writer goroutine, no
+	// queue, no WAL — the replication layer owns the solver and applies
+	// streamed groups itself; the engine only serves reads from it.
+	replica bool
 
 	// state guards the closing flag against enqueuers: senders hold the
 	// read side across the channel send, Drop/Close take the write side
@@ -409,6 +510,9 @@ func (e *Engine) Create(name string, g *parcc.Graph) error {
 	defer e.life.RUnlock()
 	if e.closed.Load() {
 		return ErrEngineClosed
+	}
+	if e.opt.ReadOnly {
+		return &parcc.ReadOnlyReplicaError{Primary: e.opt.Primary}
 	}
 	if e.recovering.Load() {
 		return fmt.Errorf("service: %w", parcc.ErrRecovering)
@@ -499,7 +603,7 @@ func (e *Engine) attachWAL(sh *shard, g *parcc.Graph) error {
 		os.Remove(w.path)
 		return err
 	}
-	sh.wal = w
+	sh.wal.Store(w)
 	return nil
 }
 
@@ -509,14 +613,120 @@ func (e *Engine) attachWAL(sh *shard, g *parcc.Graph) error {
 // recovery.  Readers that already hold the shard's snapshot keep a valid
 // (now frozen) view.
 func (e *Engine) Drop(name string) error {
+	if e.opt.ReadOnly {
+		return &parcc.ReadOnlyReplicaError{Primary: e.opt.Primary}
+	}
 	v, ok := e.shards.LoadAndDelete(name)
 	if !ok {
 		return fmt.Errorf("%w: %q", ErrGraphNotFound, name)
 	}
 	sh := v.(*shard)
 	sh.shutdown()
-	if sh.wal != nil {
-		os.Remove(sh.wal.path)
+	if w := sh.wal.Load(); w != nil {
+		os.Remove(w.path)
+	}
+	return nil
+}
+
+// Compact checkpoints the named session's write-ahead log: the live state
+// becomes the log's head record and the fully-applied history before it
+// is dropped, so the log's size tracks the graph, not its mutation count.
+// The request rides the shard's writer queue — it runs after every
+// mutation queued before it, never inside a coalesced group — and returns
+// once the rewritten log is durable.  Errors: ErrGraphNotFound,
+// ErrWALDisabled, *parcc.ReadOnlyReplicaError, or the rewrite's I/O error.
+func (e *Engine) Compact(name string) error {
+	if e.opt.ReadOnly {
+		return &parcc.ReadOnlyReplicaError{Primary: e.opt.Primary}
+	}
+	sh, err := e.lookup(name)
+	if err != nil {
+		return err
+	}
+	if sh.wal.Load() == nil {
+		return ErrWALDisabled
+	}
+	m := &mutation{compact: true, err: make(chan error, 1)}
+	sh.state.RLock()
+	if sh.closing {
+		sh.state.RUnlock()
+		return fmt.Errorf("%w: %q", ErrGraphNotFound, name)
+	}
+	sh.reqs <- m // may block: queue-depth back pressure
+	sh.state.RUnlock()
+	return <-m.err
+}
+
+// Replica is the bookkeeping handle InstallReplica returns: the narrow
+// surface through which the replication layer (which applies streamed
+// groups outside the engine's writer path) keeps the engine's serving
+// counters honest.
+type Replica struct{ sh *shard }
+
+// SetEdges records the replica's live edge count after an applied group.
+func (r *Replica) SetEdges(edges int64) { r.sh.edges.Store(edges) }
+
+// AddApplied charges one applied stream group to the serving counters
+// (surfaces in /stats and parcc_engine_applies_total).
+func (r *Replica) AddApplied() {
+	r.sh.applies.Add(1)
+	r.sh.writes.Add(1)
+}
+
+// InstallReplica registers a read-only session around a follower-owned
+// solver.  The shard gets no writer goroutine, no queue, and no log: the
+// replication layer owns the solver — it applies streamed groups and
+// publishes snapshots itself, and must keep the solver alive until the
+// shard is dropped (DropReplica) or the engine is closed.  The engine
+// only serves reads from it.  Errors: ErrEngineClosed, ErrGraphExists.
+func (e *Engine) InstallReplica(name string, n int, s *parcc.Solver) (*Replica, error) {
+	e.life.RLock()
+	defer e.life.RUnlock()
+	if e.closed.Load() {
+		return nil, ErrEngineClosed
+	}
+	if name == "" {
+		return nil, fmt.Errorf("service: empty graph name")
+	}
+	if s == nil || s.ReadView() == nil {
+		return nil, fmt.Errorf("service: replica solver has no published snapshot")
+	}
+	sh := e.newShard(name, n, s)
+	sh.replica = true
+	sh.reqs = nil // no writer: len(nil chan) = 0 keeps the queue gauges honest
+	for {
+		v, raced := e.shards.LoadOrStore(name, sh)
+		if !raced {
+			break
+		}
+		old := v.(*shard)
+		if !old.replica {
+			return nil, fmt.Errorf("%w: %q", ErrGraphExists, name)
+		}
+		// Replacing a replica (full-state reset) swaps the shard atomically:
+		// readers move from the old snapshot to the new one without ever
+		// observing the graph missing.  The old solver stays the replication
+		// layer's to close.
+		if e.shards.CompareAndSwap(name, v, sh) {
+			break
+		}
+	}
+	return &Replica{sh: sh}, nil
+}
+
+// DropReplica removes a replica session (e.g. when the primary's log
+// identity changed and the follower must rebuild).  The solver is not
+// closed — the replication layer owns it; readers already holding its
+// snapshot keep a valid frozen view.
+func (e *Engine) DropReplica(name string) error {
+	v, ok := e.shards.LoadAndDelete(name)
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrGraphNotFound, name)
+	}
+	sh := v.(*shard)
+	if !sh.replica {
+		e.shards.LoadOrStore(name, sh) // not ours to drop this way
+		return fmt.Errorf("service: graph %q is not a replica", name)
 	}
 	return nil
 }
@@ -604,14 +814,14 @@ func (e *Engine) Recover() (RecoverStats, error) {
 			os.Remove(path) // no durable records: the graph never existed
 			continue
 		}
-		w, err := openWAL(path, !e.opt.NoFsync, rr.version)
+		w, err := openWAL(path, !e.opt.NoFsync, rr.version, rr.lastSeq, rr.epoch, rr.size)
 		if err != nil {
 			rr.solver.Close()
 			st.Elapsed = time.Since(t0)
 			return st, err
 		}
 		sh := e.newShard(rr.name, rr.n, rr.solver)
-		sh.wal = w
+		sh.wal.Store(w)
 		sh.edges.Store(rr.edges)
 		if _, raced := e.shards.LoadOrStore(rr.name, sh); raced {
 			// Two log files decoding to one name (hand-copied files).
@@ -749,6 +959,9 @@ func (e *Engine) RemoveEdges(name string, batch []parcc.Edge) error {
 }
 
 func (e *Engine) mutate(name string, remove bool, batch []parcc.Edge) error {
+	if e.opt.ReadOnly {
+		return &parcc.ReadOnlyReplicaError{Primary: e.opt.Primary}
+	}
 	sh, err := e.lookup(name)
 	if err != nil {
 		return err
@@ -786,18 +999,32 @@ func checkVertex(v, n int) error {
 // shutdown stops the shard's writer after a graceful drain and releases
 // its solver.  The drain order is the durability contract: queued
 // mutation groups are applied and logged (each group fsync'd as it
-// lands), then the WAL handle is closed, then the session — so a graceful
-// stop loses nothing and the log ends on a whole-frame boundary.  Safe to
-// call once per shard (Drop and Close both route through LoadAndDelete,
-// which elects a single caller).
+// lands), then the log is compacted to a checkpoint if any groups landed
+// since the last head record (so restarts replay a snapshot, not
+// history), then the WAL handle is closed, then the session — so a
+// graceful stop loses nothing and the log ends on a whole-frame boundary.
+// Safe to call once per shard (Drop and Close both route through
+// LoadAndDelete, which elects a single caller).
 func (sh *shard) shutdown() {
+	if sh.replica {
+		// Follower-installed shard: no writer, no queue, no WAL; the
+		// replication layer owns (and closes) the solver.
+		return
+	}
 	sh.state.Lock()
 	sh.closing = true
 	close(sh.reqs)
 	sh.state.Unlock()
 	<-sh.done // writer drains remaining queued mutations, then exits
-	if sh.wal != nil {
-		sh.wal.Close()
+	if w := sh.wal.Load(); w != nil {
+		if w.groupsSinceHead > 0 {
+			// Best-effort: a failed checkpoint leaves the (longer, equally
+			// durable) pre-compaction log for the next recovery to replay.
+			if g := sh.s.Live(); g != nil {
+				w.writeCheckpoint(g.N, g.Edges)
+			}
+		}
+		w.Close()
 	}
 	sh.s.Close()
 }
@@ -806,20 +1033,30 @@ func (sh *shard) shutdown() {
 // coalesces whatever else is waiting (bounded by MaxBatchEdges and the
 // CoalesceWindow), applies the combined batches through the incremental
 // path, publishes one snapshot for the whole group, and only then releases
-// the callers.
+// the callers.  Compaction barriers run between groups, never inside one.
 func (e *Engine) writer(sh *shard) {
 	defer e.wg.Done()
 	defer close(sh.done)
 	for first := range sh.reqs {
-		group := e.collect(sh, first)
-		sh.apply(group)
+		for first != nil {
+			if first.compact {
+				first.err <- sh.compact()
+				first = nil
+				continue
+			}
+			var group []*mutation
+			group, first = e.collect(sh, first)
+			sh.apply(group)
+		}
 	}
 }
 
 // collect gathers the coalescing group starting at first.  With a zero
 // window it takes only what is already queued; with a positive window it
-// keeps listening until the window closes or the edge cap is reached.
-func (e *Engine) collect(sh *shard, first *mutation) []*mutation {
+// keeps listening until the window closes or the edge cap is reached.  A
+// compaction barrier pulled mid-collection ends the group and is returned
+// for the writer to run after the group lands.
+func (e *Engine) collect(sh *shard, first *mutation) ([]*mutation, *mutation) {
 	group := []*mutation{first}
 	edges := len(first.batch)
 	var window <-chan time.Time
@@ -831,27 +1068,49 @@ func (e *Engine) collect(sh *shard, first *mutation) []*mutation {
 			select {
 			case m, ok := <-sh.reqs:
 				if !ok {
-					return group
+					return group, nil
+				}
+				if m.compact {
+					return group, m
 				}
 				group = append(group, m)
 				edges += len(m.batch)
 			default:
-				return group
+				return group, nil
 			}
 		} else {
 			select {
 			case m, ok := <-sh.reqs:
 				if !ok {
-					return group
+					return group, nil
+				}
+				if m.compact {
+					return group, m
 				}
 				group = append(group, m)
 				edges += len(m.batch)
 			case <-window:
-				return group
+				return group, nil
 			}
 		}
 	}
-	return group
+	return group, nil
+}
+
+// compact checkpoints the shard's log: the live state becomes the new
+// head record at the current seq and the applied history before it is
+// dropped.  Runs on the writer goroutine between groups, so the captured
+// state is exactly the log's state at lastSeq.
+func (sh *shard) compact() error {
+	w := sh.wal.Load()
+	if w == nil {
+		return ErrWALDisabled
+	}
+	g := sh.s.Live()
+	if g == nil {
+		return parcc.ErrNotAttached // unreachable while the writer runs
+	}
+	return w.writeCheckpoint(g.N, g.Edges)
 }
 
 // apply runs the group through the incremental path: consecutive
@@ -866,10 +1125,11 @@ func (e *Engine) collect(sh *shard, first *mutation) []*mutation {
 func (sh *shard) apply(group []*mutation) {
 	errs := make([]error, len(group))
 	mutated := false
+	wal := sh.wal.Load()
 	var logged []walEntry
 	ok := func(remove bool, batch []parcc.Edge) {
 		mutated = true
-		if sh.wal != nil {
+		if wal != nil {
 			logged = append(logged, walEntry{remove: remove, batch: batch})
 		}
 	}
@@ -907,8 +1167,8 @@ func (sh *shard) apply(group []*mutation) {
 		}
 		lo = hi
 	}
-	if mutated && sh.wal != nil {
-		if werr := sh.wal.appendGroup(logged); werr != nil {
+	if mutated && wal != nil {
+		if werr := wal.appendGroup(logged); werr != nil {
 			// The group is applied in memory and will publish below —
 			// read-your-writes holds — but its durability failed, so
 			// every caller whose batch landed gets the WAL error instead

@@ -1,6 +1,7 @@
 package service
 
 import (
+	crand "crypto/rand"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -8,7 +9,9 @@ import (
 	"net/url"
 	"os"
 	"path/filepath"
+	"sync"
 	"sync/atomic"
+	"time"
 
 	"parcc"
 )
@@ -25,10 +28,11 @@ import (
 //	u32 length      — payload bytes (not counting this 8-byte header)
 //	u32 crc         — CRC-32 (IEEE) of the payload
 //	payload:
-//	  u8  kind      — 1 create, 2 add, 3 remove
+//	  u8  kind      — 1 create, 2 add, 3 remove, 4 checkpoint, 5 commit
 //	  u64 seq       — see below
-//	  create: u64 n, u64 m, then m × (i32 u, i32 v)
-//	  add/remove:    u64 count, then count × (i32 u, i32 v)
+//	  create/checkpoint: u64 epoch, u64 n, u64 m, then m × (i32 u, i32 v)
+//	  add/remove:        u64 count, then count × (i32 u, i32 v)
+//	  commit:            u64 head (stream-only, never on disk)
 //
 // seq is the snapshot version that exposes the record: the create record
 // carries 1 (Create's publish is version 1) and every frame of one
@@ -40,6 +44,24 @@ import (
 // observed before the crash, because the fsync of a frame always precedes
 // the publish that exposes it.
 //
+// A CHECKPOINT record is a create record under another name: the full
+// live edge multiset at seq, written by log compaction (clean shutdown or
+// POST /graphs/{name}/compact) as the head of a rewritten log whose
+// fully-applied prefix has been dropped.  Recovery and followers treat it
+// exactly like a create whose publish version is its seq.  The EPOCH in
+// create/checkpoint records is a random identity drawn when the graph is
+// created: it survives recovery and compaction, and changes only when a
+// graph is dropped and re-created — how a follower (which resumes by seq)
+// detects that "seq 7" of the log it left is not "seq 7" of the log that
+// now answers, and resets instead of splicing two histories together.
+//
+// A COMMIT frame exists only on the replication stream (never on disk):
+// the streaming endpoint emits one after the last frame of each seq group
+// so a follower knows the group is complete and may publish it, and
+// repeats it as a heartbeat while idle.  Its head field carries the
+// primary's last durable seq — the follower's lag in seqs is head minus
+// its last applied seq.
+//
 // The decoder distinguishes a TORN tail (a truncated header or frame
 // body: exactly what an interrupted final write leaves) from mid-log
 // CORRUPTION (checksum mismatch, impossible lengths, unknown kinds).
@@ -47,11 +69,19 @@ import (
 // whole frame; anything else fails recovery with a typed
 // *parcc.WALCorruptionError — a log that lies must never yield silent
 // partial state.
+//
+// Live-tail safety for stream readers: walWriter.durable is advanced only
+// after a whole group's frames (and their fsync) land, so a reader that
+// never reads past durable can be concurrent with the appending writer
+// and still never observe a torn frame — the torn tail exists only beyond
+// the durable boundary.
 
 const (
-	walKindCreate byte = 1
-	walKindAdd    byte = 2
-	walKindRemove byte = 3
+	walKindCreate     byte = 1
+	walKindAdd        byte = 2
+	walKindRemove     byte = 3
+	walKindCheckpoint byte = 4 // full state at seq: compaction's stream head
+	walKindCommit     byte = 5 // stream-only: group boundary + primary head
 
 	walHeaderLen = 8       // u32 length + u32 crc
 	walMinFrame  = 9       // kind + seq: the smallest possible payload
@@ -69,7 +99,9 @@ func walPath(dir, name string) string {
 type walRecord struct {
 	kind  byte
 	seq   uint64
-	n     int // vertex count (create frames only)
+	epoch uint64 // log identity (create/checkpoint frames only)
+	head  uint64 // primary's last durable seq (commit frames only)
+	n     int    // vertex count (create/checkpoint frames only)
 	batch []parcc.Edge
 }
 
@@ -80,13 +112,19 @@ func appendWALFrame(buf []byte, rec *walRecord) []byte {
 	p0 := len(buf)
 	buf = append(buf, rec.kind)
 	buf = binary.LittleEndian.AppendUint64(buf, rec.seq)
-	if rec.kind == walKindCreate {
-		buf = binary.LittleEndian.AppendUint64(buf, uint64(rec.n))
-	}
-	buf = binary.LittleEndian.AppendUint64(buf, uint64(len(rec.batch)))
-	for _, ed := range rec.batch {
-		buf = binary.LittleEndian.AppendUint32(buf, uint32(ed.U))
-		buf = binary.LittleEndian.AppendUint32(buf, uint32(ed.V))
+	switch rec.kind {
+	case walKindCommit:
+		buf = binary.LittleEndian.AppendUint64(buf, rec.head)
+	default:
+		if rec.kind == walKindCreate || rec.kind == walKindCheckpoint {
+			buf = binary.LittleEndian.AppendUint64(buf, rec.epoch)
+			buf = binary.LittleEndian.AppendUint64(buf, uint64(rec.n))
+		}
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(len(rec.batch)))
+		for _, ed := range rec.batch {
+			buf = binary.LittleEndian.AppendUint32(buf, uint32(ed.U))
+			buf = binary.LittleEndian.AppendUint32(buf, uint32(ed.V))
+		}
 	}
 	payload := buf[p0:]
 	binary.LittleEndian.PutUint32(buf[start:], uint32(len(payload)))
@@ -129,20 +167,26 @@ func decodeWALFrame(data []byte, off int) (walRecord, int, error) {
 	rec.seq = binary.LittleEndian.Uint64(payload[1:])
 	body := payload[walMinFrame:]
 	switch rec.kind {
-	case walKindCreate:
-		if len(body) < 16 {
+	case walKindCreate, walKindCheckpoint:
+		if len(body) < 24 {
 			return rec, off, walErr(off, false, "create frame too short (%d bytes)", len(body))
 		}
-		n := binary.LittleEndian.Uint64(body)
-		m := binary.LittleEndian.Uint64(body[8:])
+		rec.epoch = binary.LittleEndian.Uint64(body)
+		n := binary.LittleEndian.Uint64(body[8:])
+		m := binary.LittleEndian.Uint64(body[16:])
 		if n > 1<<31-1 {
 			return rec, off, walErr(off, false, "create frame vertex count %d overflows int32", n)
 		}
-		if uint64(len(body)-16) != m*8 {
-			return rec, off, walErr(off, false, "create frame declares %d edges, carries %d bytes", m, len(body)-16)
+		if uint64(len(body)-24) != m*8 {
+			return rec, off, walErr(off, false, "create frame declares %d edges, carries %d bytes", m, len(body)-24)
 		}
 		rec.n = int(n)
-		rec.batch = decodeWALEdges(body[16:])
+		rec.batch = decodeWALEdges(body[24:])
+	case walKindCommit:
+		if len(body) != 8 {
+			return rec, off, walErr(off, false, "commit frame carries %d body bytes, want 8", len(body))
+		}
+		rec.head = binary.LittleEndian.Uint64(body)
 	case walKindAdd, walKindRemove:
 		count := binary.LittleEndian.Uint64(body)
 		if uint64(len(body)-8) != count*8 {
@@ -188,7 +232,8 @@ func decodeWAL(data []byte) ([]walRecord, int, error) {
 
 // walWriter is a shard's append handle: owned by the shard's writer
 // goroutine (appends are naturally serialized), with atomic counters for
-// the metrics scraper.
+// the metrics scraper and an atomic durable boundary + wakeup channel for
+// the replication stream readers tailing the file concurrently.
 type walWriter struct {
 	f     *os.File
 	path  string
@@ -197,11 +242,46 @@ type walWriter struct {
 	// the next group's frames are stamped lastSeq+1 (see the file header
 	// comment for the lockstep argument).
 	lastSeq uint64
-	buf     []byte
+	// epoch is the log's identity, carried in its create/checkpoint head
+	// record: stable across recovery and compaction, fresh on re-create.
+	epoch uint64
+	buf   []byte
+	// groupsSinceHead counts mutation groups appended since the head
+	// record (create or checkpoint) — a clean shutdown checkpoints only
+	// when it is non-zero, so an idle log is not rewritten for nothing.
+	groupsSinceHead int
 
-	appends atomic.Uint64 // frames written
-	bytes   atomic.Uint64 // bytes written
-	fsyncs  atomic.Uint64 // fsyncs issued
+	appends     atomic.Uint64 // frames written
+	bytes       atomic.Uint64 // bytes written
+	fsyncs      atomic.Uint64 // fsyncs issued
+	checkpoints atomic.Uint64 // checkpoint rewrites (compactions)
+
+	// durable is the byte length of the whole-group prefix of the file:
+	// advanced only after a complete group's frames (and fsync) land, so a
+	// stream reader that stops at durable never observes a torn frame even
+	// while the writer is mid-append past it.
+	durable atomic.Int64
+	// headSeq mirrors lastSeq for readers outside the writer goroutine.
+	headSeq atomic.Uint64
+	// gen counts file rewrites (checkpoints): a stream reader holding the
+	// pre-rename file re-opens from the head when it observes a bump.
+	gen atomic.Uint64
+
+	// tailMu guards tail, the broadcast channel closed-and-replaced after
+	// every append so long-polling stream readers wake without polling.
+	tailMu sync.Mutex
+	tail   chan struct{}
+}
+
+// newEpoch draws a random log identity.  Uniqueness across drop+re-create
+// of the same graph name is what matters; crypto/rand failure falls back
+// to the pid/time mix (still unique enough for the resume-safety check).
+func newEpoch() uint64 {
+	var b [8]byte
+	if _, err := crand.Read(b[:]); err != nil {
+		return uint64(os.Getpid())<<32 ^ uint64(time.Now().UnixNano())
+	}
+	return binary.LittleEndian.Uint64(b[:])
 }
 
 // createWAL opens (truncating) the shard's log file.  A fresh Create
@@ -213,28 +293,56 @@ func createWAL(dir, name string, fsync bool) (*walWriter, error) {
 	if err != nil {
 		return nil, fmt.Errorf("service: wal create: %w", err)
 	}
-	return &walWriter{f: f, path: path, fsync: fsync}, nil
+	return &walWriter{f: f, path: path, fsync: fsync, epoch: newEpoch(), tail: make(chan struct{})}, nil
 }
 
-// openWAL reopens an existing log for appending after replay; lastSeq is
-// the recovered session's published version.
-func openWAL(path string, fsync bool, lastSeq uint64) (*walWriter, error) {
+// openWAL reopens an existing log for appending after replay.  lastSeq is
+// the recovered session's published version (the next group is stamped
+// lastSeq+1); headSeq is the last seq actually present in the log — one
+// less than lastSeq after recovery, whose publish is never logged — so
+// stream heartbeats advertise a head a follower can actually reach.
+// epoch and size come from the replayed head record and the truncated
+// file.
+func openWAL(path string, fsync bool, lastSeq, headSeq, epoch uint64, size int64) (*walWriter, error) {
 	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("service: wal open: %w", err)
 	}
-	return &walWriter{f: f, path: path, fsync: fsync, lastSeq: lastSeq}, nil
+	w := &walWriter{f: f, path: path, fsync: fsync, lastSeq: lastSeq, epoch: epoch, tail: make(chan struct{})}
+	w.durable.Store(size)
+	w.headSeq.Store(headSeq)
+	return w, nil
+}
+
+// wake wakes every stream reader blocked on the tail channel.
+func (w *walWriter) wake() {
+	w.tailMu.Lock()
+	ch := w.tail
+	w.tail = make(chan struct{})
+	w.tailMu.Unlock()
+	close(ch)
+}
+
+// tailWait returns the channel the next wake will close; a reader that
+// has consumed up to durable selects on it to sleep until new frames land.
+func (w *walWriter) tailWait() <-chan struct{} {
+	w.tailMu.Lock()
+	defer w.tailMu.Unlock()
+	return w.tail
 }
 
 // appendCreate logs the graph's birth record — seq 1, matching the
 // publish Create issues — and syncs it; a Create whose birth record
 // cannot be made durable fails.
 func (w *walWriter) appendCreate(n int, edges []parcc.Edge) error {
-	w.buf = appendWALFrame(w.buf[:0], &walRecord{kind: walKindCreate, seq: 1, n: n, batch: edges})
+	w.buf = appendWALFrame(w.buf[:0], &walRecord{kind: walKindCreate, seq: 1, epoch: w.epoch, n: n, batch: edges})
 	if err := w.write(1); err != nil {
 		return err
 	}
 	w.lastSeq = 1
+	w.headSeq.Store(1)
+	w.durable.Add(int64(len(w.buf)))
+	w.wake()
 	if cap(w.buf) > 1<<20 {
 		w.buf = nil // the birth record can dwarf every later group; don't pin it
 	}
@@ -264,6 +372,65 @@ func (w *walWriter) appendGroup(entries []walEntry) error {
 		return err
 	}
 	w.lastSeq = seq
+	w.headSeq.Store(seq)
+	w.durable.Add(int64(len(w.buf)))
+	w.groupsSinceHead++
+	w.wake()
+	return nil
+}
+
+// writeCheckpoint compacts the log: the full live state (n vertices, the
+// edge multiset) becomes a checkpoint head record at the current seq, and
+// every fully-applied frame before it is dropped.  The rewrite goes
+// through a temp file + fsync + rename so a crash at any point leaves
+// either the old log or the new one, never a mix; the append handle is
+// then swapped to the renamed file and gen is bumped so stream readers
+// holding the pre-rename inode restart from the new head.
+func (w *walWriter) writeCheckpoint(n int, edges []parcc.Edge) error {
+	buf := appendWALFrame(nil, &walRecord{
+		kind:  walKindCheckpoint,
+		seq:   w.lastSeq,
+		epoch: w.epoch,
+		n:     n,
+		batch: edges,
+	})
+	tmp := w.path + ".tmp"
+	tf, err := os.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("service: wal checkpoint create: %w", err)
+	}
+	if _, err := tf.Write(buf); err != nil {
+		tf.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("service: wal checkpoint write: %w", err)
+	}
+	if err := tf.Sync(); err != nil {
+		tf.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("service: wal checkpoint fsync: %w", err)
+	}
+	if err := tf.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("service: wal checkpoint close: %w", err)
+	}
+	if err := os.Rename(tmp, w.path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("service: wal checkpoint rename: %w", err)
+	}
+	nf, err := os.OpenFile(w.path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("service: wal checkpoint reopen: %w", err)
+	}
+	w.f.Close()
+	w.f = nf
+	w.appends.Add(1)
+	w.bytes.Add(uint64(len(buf)))
+	w.fsyncs.Add(1)
+	w.checkpoints.Add(1)
+	w.groupsSinceHead = 0
+	w.durable.Store(int64(len(buf)))
+	w.gen.Add(1)
+	w.wake()
 	return nil
 }
 
@@ -297,6 +464,9 @@ type replayedShard struct {
 	replayed int64 // total batch edges pushed through the incremental path
 	records  int
 	version  uint64 // published version after the recovery publish
+	lastSeq  uint64 // seq of the last replayed record
+	epoch    uint64 // log identity from the head record
+	size     int64  // byte length of the clean (post-truncation) log
 }
 
 // replayWAL reconstructs one shard from its log file.  A torn tail is
@@ -328,8 +498,8 @@ func (e *Engine) replayWAL(path string) (*replayedShard, error) {
 	if len(recs) == 0 {
 		return nil, nil
 	}
-	if recs[0].kind != walKindCreate {
-		return nil, &parcc.WALCorruptionError{Path: path, Reason: "first record is not a create"}
+	if recs[0].kind != walKindCreate && recs[0].kind != walKindCheckpoint {
+		return nil, &parcc.WALCorruptionError{Path: path, Reason: "first record is not a create or checkpoint"}
 	}
 	g := parcc.NewGraph(recs[0].n)
 	g.Edges = append(g.Edges, recs[0].batch...)
@@ -353,7 +523,9 @@ func (e *Engine) replayWAL(path string) (*replayedShard, error) {
 			aerr = s.RemoveEdges(rec.batch)
 			edges -= int64(len(rec.batch))
 		default:
-			aerr = fmt.Errorf("unexpected create record mid-log")
+			// create/checkpoint belong only at the head; commit frames are
+			// stream-only and must never reach disk.
+			aerr = fmt.Errorf("unexpected record kind %d mid-log", rec.kind)
 		}
 		if aerr != nil {
 			s.Close()
@@ -382,5 +554,8 @@ func (e *Engine) replayWAL(path string) (*replayedShard, error) {
 		replayed: replayed,
 		records:  len(recs),
 		version:  sn.Version(),
+		lastSeq:  recs[len(recs)-1].seq,
+		epoch:    recs[0].epoch,
+		size:     int64(valid),
 	}, nil
 }

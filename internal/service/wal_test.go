@@ -84,8 +84,9 @@ func buildWALStream(t *testing.T, backend parcc.Backend, batches int, seed int64
 		}
 		st.history = append(st.history, snap())
 	}
-	eng.Close() // graceful: nothing queued, the log already holds every acked batch
-
+	// Capture the log image BEFORE the graceful Close: every acked batch is
+	// already durable (fsync per group), and Close would compact the log to
+	// a single checkpoint record — these tests want the full history.
 	entries, err := os.ReadDir(dir)
 	if err != nil {
 		t.Fatal(err)
